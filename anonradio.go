@@ -1,0 +1,324 @@
+// Package anonradio is the public API of the reproduction of
+// "Deterministic Leader Election in Anonymous Radio Networks"
+// (Miller, Pelc, Yadav; SPAA 2020).
+//
+// The package lets users build configurations (anonymous radio networks with
+// wake-up tags), decide their feasibility with the paper's Classifier
+// algorithm, derive the dedicated canonical leader-election protocol for
+// feasible configurations, execute it on a faithful simulator of the radio
+// model (with a sequential and a goroutine-per-node engine), and regenerate
+// the repository's experiment tables.
+//
+// A minimal end-to-end use:
+//
+//	cfg, err := anonradio.NewConfig(4, [][2]int{{0, 1}, {1, 2}, {2, 3}}, []int{2, 0, 0, 3}, "demo")
+//	report, err := anonradio.Classify(cfg)
+//	if report.Feasible() {
+//	    outcome, dedicated, err := anonradio.Elect(cfg)
+//	    fmt.Println("leader:", outcome.Leader(), "rounds:", outcome.Rounds)
+//	    _ = dedicated
+//	}
+//
+// The heavy lifting lives in the internal packages; this package re-exports
+// the user-facing pieces and provides convenience constructors so that
+// applications (and the examples/ directory) only ever import anonradio.
+package anonradio
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"anonradio/internal/baseline"
+	"anonradio/internal/config"
+	"anonradio/internal/core"
+	"anonradio/internal/election"
+	"anonradio/internal/graph"
+	"anonradio/internal/harness"
+	"anonradio/internal/history"
+	"anonradio/internal/radio"
+)
+
+// Config is a configuration: a connected undirected graph whose nodes carry
+// non-negative wake-up tags. See internal/config for the full method set
+// (Span, MaxDegree, Describe, Marshal, ...).
+type Config = config.Config
+
+// Report is the result of running the Classifier on a configuration. See
+// internal/core for the full method set (Feasible, Iterations, Summary, ...).
+type Report = core.Report
+
+// Dedicated is a dedicated leader election algorithm for one feasible
+// configuration: the canonical DRIP plus its decision function.
+type Dedicated = election.Dedicated
+
+// ElectionOutcome is the result of executing a leader election algorithm.
+type ElectionOutcome = radio.ElectionOutcome
+
+// SimulationResult is the raw outcome of executing a protocol on a
+// configuration: per-node histories, wake-up rounds and termination rounds.
+type SimulationResult = radio.Result
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = harness.Table
+
+// History is a node's history vector: one entry per local round, each either
+// silence, a received message, or noise (a detected collision).
+type History = history.Vector
+
+// HistoryEntry is a single history entry.
+type HistoryEntry = history.Entry
+
+// HistoryKind discriminates the three possible history entries.
+type HistoryKind = history.Kind
+
+// The three possible history entry kinds.
+const (
+	HistorySilence = history.Silence
+	HistoryMessage = history.Message
+	HistoryNoise   = history.Noise
+)
+
+// EngineKind selects a simulation engine.
+type EngineKind string
+
+const (
+	// SequentialEngine is the deterministic single-threaded reference
+	// engine.
+	SequentialEngine EngineKind = "sequential"
+	// ConcurrentEngine is the goroutine-per-node engine.
+	ConcurrentEngine EngineKind = "concurrent"
+)
+
+func engineFor(kind EngineKind) (radio.Engine, error) {
+	switch kind {
+	case SequentialEngine, "":
+		return radio.Sequential{}, nil
+	case ConcurrentEngine:
+		return radio.Concurrent{}, nil
+	default:
+		return nil, fmt.Errorf("anonradio: unknown engine %q", kind)
+	}
+}
+
+// NewConfig builds a configuration with n nodes (numbered 0..n-1), the given
+// undirected edges, and the given wake-up tags (one per node, non-negative).
+// The graph must be connected.
+func NewConfig(n int, edges [][2]int, tags []int, name string) (*Config, error) {
+	g := graph.New(n)
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n || e[0] == e[1] {
+			return nil, fmt.Errorf("anonradio: invalid edge %v", e)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	cfg, err := config.New(g, tags)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Name = name
+	return cfg, nil
+}
+
+// ParseConfig reads a configuration in the text format produced by
+// (*Config).Marshal (see internal/config for the grammar).
+func ParseConfig(r io.Reader) (*Config, error) { return config.Read(r) }
+
+// RandomConfig generates a random connected configuration with n nodes, edge
+// density p on top of a random spanning tree, and independent uniform
+// wake-up tags in [0, span]. The same seed always yields the same
+// configuration.
+func RandomConfig(n int, p float64, span int, seed int64) *Config {
+	rng := rand.New(rand.NewSource(seed))
+	return config.Random(n, p, config.UniformRandomTags{Span: span}, rng)
+}
+
+// The deterministic configuration families used throughout the paper and the
+// experiments.
+var (
+	// LineFamilyG builds G_m of Proposition 4.1 (span 1, n = 4m+1, Ω(n)
+	// election time).
+	LineFamilyG = config.LineFamilyG
+	// SpanFamilyH builds H_m of Lemma 4.2 (4 nodes, feasible, needs >= m
+	// rounds).
+	SpanFamilyH = config.SpanFamilyH
+	// SymmetricFamilyS builds S_m of Proposition 4.5 (4 nodes, infeasible).
+	SymmetricFamilyS = config.SymmetricFamilyS
+	// StaggeredPath builds a path whose node i has tag i*step.
+	StaggeredPath = config.StaggeredPath
+	// StaggeredClique builds a complete graph whose node i has tag i.
+	StaggeredClique = config.StaggeredClique
+	// EarlyCenterStar builds a star whose centre wakes first.
+	EarlyCenterStar = config.EarlyCenterStar
+	// SingleNode builds the trivial feasible one-node configuration.
+	SingleNode = config.SingleNode
+	// SymmetricPair builds the smallest infeasible configuration.
+	SymmetricPair = config.SymmetricPair
+	// AsymmetricPair builds the two-node configuration with staggered tags.
+	AsymmetricPair = config.AsymmetricPair
+)
+
+// Classify runs the paper's Classifier algorithm (Theorem 3.17) on cfg and
+// returns the full report: verdict, partition evolution, representative
+// lists and designated leader.
+func Classify(cfg *Config) (*Report, error) { return core.Classify(cfg) }
+
+// IsFeasible reports whether a dedicated deterministic leader election
+// algorithm exists for cfg.
+func IsFeasible(cfg *Config) (bool, error) { return core.IsFeasible(cfg) }
+
+// BuildElection constructs the dedicated leader election algorithm (the
+// canonical DRIP and its decision function, Theorem 3.15) for a feasible
+// configuration. It returns election.ErrInfeasible (wrapped) when cfg is not
+// feasible.
+func BuildElection(cfg *Config) (*Dedicated, error) { return election.BuildDedicated(cfg) }
+
+// ErrInfeasible is returned (wrapped) by BuildElection and Elect when the
+// configuration admits no leader election algorithm.
+var ErrInfeasible = election.ErrInfeasible
+
+// Elect classifies cfg, builds its dedicated algorithm, executes it on the
+// sequential engine and verifies the outcome (exactly one leader, the
+// designated node, within the round bound).
+func Elect(cfg *Config) (*ElectionOutcome, *Dedicated, error) {
+	return ElectWith(cfg, SequentialEngine)
+}
+
+// ElectWith is Elect with an explicit choice of simulation engine.
+func ElectWith(cfg *Config, kind EngineKind) (*ElectionOutcome, *Dedicated, error) {
+	eng, err := engineFor(kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := election.BuildDedicated(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := d.Elect(eng, radio.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := d.Verify(out); err != nil {
+		return nil, nil, err
+	}
+	return out, d, nil
+}
+
+// Simulate executes the dedicated algorithm's protocol on its configuration
+// with the chosen engine and returns the raw per-node histories; it is the
+// entry point for users who want to inspect executions rather than just the
+// elected leader.
+func Simulate(d *Dedicated, kind EngineKind, recordTrace bool) (*SimulationResult, error) {
+	eng, err := engineFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(d.Config, d.DRIP, radio.Options{RecordTrace: recordTrace})
+}
+
+// CrossCheckFeasibility classifies cfg with both the Classifier and the
+// independent naive oracle and reports whether they agree (they always
+// should; the function exists for users who want the redundancy).
+func CrossCheckFeasibility(cfg *Config) (feasible bool, agree bool, err error) {
+	rep, err := core.Classify(cfg)
+	if err != nil {
+		return false, false, err
+	}
+	naive, err := baseline.NaiveClassify(cfg)
+	if err != nil {
+		return false, false, err
+	}
+	return rep.Feasible(), rep.Feasible() == naive.Feasible, nil
+}
+
+// CompiledElection is the serializable (JSON) form of a dedicated algorithm:
+// the canonical protocol blueprint plus the decision-function data. It is
+// what cmd/compile writes to disk.
+type CompiledElection = election.Compiled
+
+// ExecutionMetrics summarizes a traced execution (transmissions, collisions,
+// forced wake-ups, busy rounds).
+type ExecutionMetrics = radio.Metrics
+
+// CompileElection returns the serializable form of a dedicated algorithm;
+// marshal it with encoding/json to persist it.
+func CompileElection(d *Dedicated) *CompiledElection { return d.Compile() }
+
+// LoadElection rebuilds an executable dedicated algorithm from its compiled
+// form and the configuration it is meant to run on.
+func LoadElection(c *CompiledElection, cfg *Config) (*Dedicated, error) {
+	return election.Load(c, cfg)
+}
+
+// ParseCompiledElection decodes a compiled algorithm from JSON.
+func ParseCompiledElection(data []byte) (*CompiledElection, error) {
+	return election.UnmarshalCompiled(data)
+}
+
+// ElectCompiled executes a pre-compiled dedicated algorithm on cfg with the
+// chosen engine and verifies the outcome.
+func ElectCompiled(c *CompiledElection, cfg *Config, kind EngineKind) (*ElectionOutcome, *Dedicated, error) {
+	eng, err := engineFor(kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := election.Load(c, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := d.Elect(eng, radio.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := d.Verify(out); err != nil {
+		return nil, nil, err
+	}
+	return out, d, nil
+}
+
+// ComputeMetrics derives execution metrics from a traced simulation result
+// (one produced with recordTrace=true).
+func ComputeMetrics(res *SimulationResult) (*ExecutionMetrics, error) {
+	return radio.ComputeMetrics(res)
+}
+
+// ExecutionTimeline is a per-node, per-round character grid of a traced
+// execution (who slept, transmitted, heard a message or noise, terminated).
+type ExecutionTimeline = radio.Timeline
+
+// BuildTimeline renders a traced simulation result as a per-node timeline
+// grid.
+func BuildTimeline(res *SimulationResult) (*ExecutionTimeline, error) {
+	return radio.BuildTimeline(res)
+}
+
+// ClassifyFast is a drop-in replacement for Classify that uses hash-based
+// partition refinement instead of the paper's representative scan; it
+// produces an identical report. The A1 ablation experiment and the
+// BenchmarkAblationRefine* benchmarks compare the two implementations.
+func ClassifyFast(cfg *Config) (*Report, error) { return core.ClassifyFast(cfg) }
+
+// RunExperiments regenerates every experiment table (E1-E10) and writes them
+// to w. With quick=true a reduced parameter sweep is used.
+func RunExperiments(w io.Writer, quick bool, seed int64) error {
+	return harness.RunAll(harness.Options{Quick: quick, Seed: seed}, w)
+}
+
+// RunExperiment runs a single experiment by ID ("E1".."E10") and returns its
+// table.
+func RunExperiment(id string, quick bool, seed int64) (*ExperimentTable, error) {
+	exp, ok := harness.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("anonradio: unknown experiment %q", id)
+	}
+	return exp.Run(harness.Options{Quick: quick, Seed: seed})
+}
+
+// ExperimentIDs lists the available experiment identifiers in order.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range harness.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}

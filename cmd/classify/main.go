@@ -1,0 +1,88 @@
+// Command classify decides whether a configuration (an anonymous radio
+// network with wake-up tags) is feasible, i.e. whether a deterministic
+// distributed leader election algorithm exists for it, using the paper's
+// Classifier algorithm.
+//
+// Usage:
+//
+//	classify -config cfg.txt [-verbose] [-dot] [-crosscheck]
+//
+// The configuration file uses the text format documented in the README
+// (nodes / tag / edge directives). With no -config flag the configuration is
+// read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anonradio"
+)
+
+func main() {
+	var (
+		path       = flag.String("config", "", "configuration file (default: read standard input)")
+		verbose    = flag.Bool("verbose", false, "print the full classifier report (partition evolution and lists)")
+		dot        = flag.Bool("dot", false, "print the configuration in Graphviz DOT format and exit")
+		crosscheck = flag.Bool("crosscheck", false, "also run the independent naive feasibility oracle and compare")
+	)
+	flag.Parse()
+
+	cfg, err := readConfig(*path)
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		fmt.Print(cfg.DOT())
+		return
+	}
+
+	report, err := anonradio.Classify(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verbose {
+		fmt.Print(report.Summary())
+	} else {
+		fmt.Printf("configuration: %s\n", cfg)
+		fmt.Printf("feasible:      %v\n", report.Feasible())
+		if report.Feasible() {
+			fmt.Printf("leader:        node %d\n", report.Leader)
+		}
+		fmt.Printf("iterations:    %d\n", report.Iterations())
+	}
+
+	if *crosscheck {
+		feasible, agree, err := anonradio.CrossCheckFeasibility(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("oracle:        feasible=%v agree=%v\n", feasible, agree)
+		if !agree {
+			fatal(fmt.Errorf("classifier and naive oracle disagree"))
+		}
+	}
+
+	if !report.Feasible() {
+		os.Exit(2)
+	}
+}
+
+func readConfig(path string) (*anonradio.Config, error) {
+	if path == "" {
+		return anonradio.ParseConfig(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return anonradio.ParseConfig(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "classify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command compile derives the dedicated canonical leader election algorithm
+// for a feasible configuration and writes it to a JSON artifact. The
+// artifact contains exactly what the paper says is installed on the
+// anonymous nodes: the span σ, the hard-coded lists L_1..L_jterm of the
+// canonical DRIP, and the designated leader's history for the decision
+// function. The artifact can later be executed with `elect -compiled`.
+//
+// Usage:
+//
+//	compile -config cfg.txt -o algorithm.json
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"anonradio"
+)
+
+func main() {
+	var (
+		path = flag.String("config", "", "configuration file (default: read standard input)")
+		out  = flag.String("o", "", "output file for the compiled algorithm (default: standard output)")
+	)
+	flag.Parse()
+
+	cfg, err := readConfig(*path)
+	if err != nil {
+		fatal(err)
+	}
+
+	dedicated, err := anonradio.BuildElection(cfg)
+	if err != nil {
+		if errors.Is(err, anonradio.ErrInfeasible) {
+			fmt.Fprintf(os.Stderr, "compile: %s is infeasible; nothing to compile\n", cfg)
+			os.Exit(2)
+		}
+		fatal(err)
+	}
+
+	compiled := anonradio.CompileElection(dedicated)
+	data, err := json.MarshalIndent(compiled, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "compile: wrote dedicated algorithm for %s (leader %d, %d phases, bound %d rounds) to %s\n",
+		cfg, dedicated.ExpectedLeader, dedicated.DRIP.Phases(), dedicated.RoundBound, *out)
+}
+
+func readConfig(path string) (*anonradio.Config, error) {
+	if path == "" {
+		return anonradio.ParseConfig(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return anonradio.ParseConfig(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Command experiments regenerates the evaluation tables of EXPERIMENTS.md:
+// the scaling measurements (E1, E2, E8), the replays of the paper's lower
+// bounds and impossibility results (E3-E6), the feasibility survey (E7) and
+// the baseline comparison (E9).
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only E3] [-o results.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"anonradio"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run reduced parameter sweeps")
+		seed  = flag.Int64("seed", 1, "random seed for all workloads")
+		only  = flag.String("only", "", "run a single experiment (E1..E9)")
+		out   = flag.String("o", "", "output file (default: standard output)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *only != "" {
+		table, err := anonradio.RunExperiment(*only, *quick, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w, table.String())
+		return
+	}
+	if err := anonradio.RunExperiments(w, *quick, *seed); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

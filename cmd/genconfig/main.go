@@ -1,0 +1,85 @@
+// Command genconfig generates configuration files: the paper's named
+// families (G_m, H_m, S_m), simple deterministic families, or random
+// connected configurations. The output uses the text format consumed by the
+// classify and elect commands.
+//
+// Usage examples:
+//
+//	genconfig -family h -m 5
+//	genconfig -family g -m 3 -o g3.txt
+//	genconfig -family random -n 32 -p 0.2 -span 4 -seed 7
+//	genconfig -family staggered-clique -n 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anonradio"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "random", "family: g, h, s, staggered-path, staggered-clique, star, random")
+		m      = flag.Int("m", 2, "family index for g, h, s")
+		n      = flag.Int("n", 16, "number of nodes for the other families")
+		step   = flag.Int("step", 1, "tag step for staggered-path")
+		span   = flag.Int("span", 4, "largest wake-up tag for random configurations")
+		p      = flag.Float64("p", 0.2, "extra edge probability for random configurations")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("o", "", "output file (default: standard output)")
+	)
+	flag.Parse()
+
+	cfg, err := build(*family, *m, *n, *step, *span, *p, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := cfg.Encode(w); err != nil {
+		fatal(err)
+	}
+}
+
+func build(family string, m, n, step, span int, p float64, seed int64) (cfg *anonradio.Config, err error) {
+	defer func() {
+		// The family constructors panic on out-of-range parameters; convert
+		// that into a CLI error.
+		if r := recover(); r != nil {
+			cfg, err = nil, fmt.Errorf("%v", r)
+		}
+	}()
+	switch family {
+	case "g":
+		return anonradio.LineFamilyG(m), nil
+	case "h":
+		return anonradio.SpanFamilyH(m), nil
+	case "s":
+		return anonradio.SymmetricFamilyS(m), nil
+	case "staggered-path":
+		return anonradio.StaggeredPath(n, step), nil
+	case "staggered-clique":
+		return anonradio.StaggeredClique(n), nil
+	case "star":
+		return anonradio.EarlyCenterStar(n, span), nil
+	case "random":
+		return anonradio.RandomConfig(n, p, span, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genconfig:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Feasibility survey: sample random anonymous radio networks and measure how
+// often leader election is possible as a function of the wake-up span. The
+// paper's Classifier makes this question decidable in polynomial time; every
+// verdict is cross-checked against the independent naive oracle.
+//
+// Run with:
+//
+//	go run ./examples/feasibility-survey [-n 24] [-trials 200] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"anonradio"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 24, "number of nodes per sampled configuration")
+		trials = flag.Int("trials", 200, "number of configurations per span value")
+		seed   = flag.Int64("seed", 7, "base random seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("feasibility of random %d-node configurations (sparse connected graphs, uniform tags)\n\n", *n)
+	fmt.Printf("%6s  %10s  %12s  %12s\n", "span", "feasible", "infeasible", "feasible %")
+
+	for _, span := range []int{0, 1, 2, 4, 8, 16} {
+		feasible := 0
+		for trial := 0; trial < *trials; trial++ {
+			cfg := anonradio.RandomConfig(*n, 4.0/float64(*n), span, *seed+int64(span*100000+trial))
+			ok, agree, err := anonradio.CrossCheckFeasibility(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !agree {
+				log.Fatalf("classifier and oracle disagree on %s", cfg)
+			}
+			if ok {
+				feasible++
+			}
+		}
+		fmt.Printf("%6d  %10d  %12d  %11.1f%%\n",
+			span, feasible, *trials-feasible, 100*float64(feasible)/float64(*trials))
+	}
+
+	fmt.Println("\nwith span 0 every node wakes simultaneously and symmetry can never be broken;")
+	fmt.Println("as the span grows, wake-up times become a richer symmetry breaker and almost all")
+	fmt.Println("sampled configurations admit a leader election algorithm.")
+}

@@ -1,0 +1,63 @@
+// Lower bounds and impossibility results: replay Section 4 of the paper on
+// live executions.
+//
+//   - Proposition 4.1: the line family G_m (span 1) needs Ω(n) rounds.
+//   - Lemma 4.2 / Proposition 4.3: the 4-node family H_m needs Ω(σ) rounds.
+//   - Proposition 4.4: no universal algorithm elects a leader on all feasible
+//     4-node configurations — each dedicated algorithm has a concrete
+//     counterexample.
+//   - Proposition 4.5: feasibility cannot be decided distributedly — a
+//     feasible and an infeasible configuration generate identical views.
+//
+// Run with:
+//
+//	go run ./examples/lowerbounds
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anonradio"
+)
+
+func main() {
+	fmt.Println("Ω(n) family G_m (Proposition 4.1)")
+	fmt.Printf("%4s %6s %16s %12s\n", "m", "n", "election rounds", "rounds/n")
+	for _, m := range []int{2, 4, 8, 16} {
+		cfg := anonradio.LineFamilyG(m)
+		out, _, err := anonradio.Elect(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %6d %16d %12.2f\n", m, cfg.N(), out.Rounds, float64(out.Rounds)/float64(cfg.N()))
+	}
+
+	fmt.Println("\nΩ(σ) family H_m (Lemma 4.2, n = 4)")
+	fmt.Printf("%4s %6s %16s %14s\n", "m", "σ", "election rounds", "≥ m (bound)?")
+	for _, m := range []int{1, 4, 16, 64} {
+		cfg := anonradio.SpanFamilyH(m)
+		out, _, err := anonradio.Elect(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %6d %16d %14v\n", m, cfg.Span(), out.Rounds, out.Rounds >= m)
+	}
+
+	fmt.Println("\nNo universal algorithm (Proposition 4.4) and no distributed decision (Proposition 4.5):")
+	fmt.Println("run `go run ./cmd/experiments -only E5` and `-only E6` for the full candidate-by-candidate tables.")
+	fmt.Println("The short version, demonstrated on the dedicated algorithm for H_2:")
+
+	table, err := anonradio.RunExperiment("E5", true, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(table.String())
+
+	table, err = anonradio.RunExperiment("E6", true, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table.String())
+}

@@ -1,0 +1,76 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the randomized single-hop election baseline: on a
+// single-hop network with collision detection, anonymous nodes can elect a
+// leader in expected O(log n) rounds by repeated coin-flipping (the paper's
+// related-work section cites matching Θ(log n) bounds for fair randomized
+// protocols, and Θ(log log n) for the faster non-uniform protocols of
+// Willard). The simple tournament below is the standard textbook variant:
+// it is not the fastest known algorithm but exhibits the logarithmic
+// behaviour the comparison experiment needs.
+
+// RandomizedOutcome describes one run of the randomized single-hop election.
+type RandomizedOutcome struct {
+	// Leader is the elected node.
+	Leader int
+	// Rounds is the number of communication rounds used.
+	Rounds int
+}
+
+// RandomizedSingleHop elects a leader among n anonymous nodes on a
+// single-hop network with collision detection. In every round each still
+// active contender transmits with probability 1/2; if exactly one node
+// transmits it becomes the leader, if several transmit the silent contenders
+// withdraw, and if nobody transmits the round is wasted. maxRounds bounds
+// the simulation (0 means a generous default).
+func RandomizedSingleHop(n int, rng *rand.Rand, maxRounds int) (*RandomizedOutcome, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: need at least one node, got %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("baseline: nil random source")
+	}
+	if maxRounds <= 0 {
+		maxRounds = 200 * (bitsFor(n) + 1)
+	}
+	if n == 1 {
+		return &RandomizedOutcome{Leader: 0, Rounds: 1}, nil
+	}
+
+	active := make([]int, n)
+	for v := range active {
+		active[v] = v
+	}
+	for round := 1; round <= maxRounds; round++ {
+		var transmitters []int
+		for _, v := range active {
+			if rng.Intn(2) == 1 {
+				transmitters = append(transmitters, v)
+			}
+		}
+		switch {
+		case len(transmitters) == 1:
+			return &RandomizedOutcome{Leader: transmitters[0], Rounds: round}, nil
+		case len(transmitters) >= 2:
+			// Collision: the silent contenders heard noise and withdraw.
+			active = transmitters
+		default:
+			// Silence: nothing changes.
+		}
+	}
+	return nil, fmt.Errorf("baseline: randomized election did not converge within %d rounds", maxRounds)
+}
+
+// bitsFor returns ⌈log2 n⌉ for n >= 1.
+func bitsFor(n int) int {
+	bits := 0
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	return bits
+}

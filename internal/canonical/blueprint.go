@@ -1,0 +1,75 @@
+package canonical
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"anonradio/internal/core"
+)
+
+// This file provides a serializable form of the canonical DRIP. The paper's
+// dedicated algorithms are derived centrally (from full knowledge of the
+// configuration) and then installed identically on every node; the Blueprint
+// is exactly that installable artifact: the span σ and the hard-coded lists
+// L_1 .. L_jterm, with nothing else attached. cmd/compile writes blueprints
+// to disk and cmd/elect can execute them later without re-running the
+// Classifier.
+
+// Blueprint is the JSON-serializable description of a canonical DRIP.
+type Blueprint struct {
+	// Sigma is the span σ the protocol was built for.
+	Sigma int `json:"sigma"`
+	// Lists holds L_1 .. L_jterm.
+	Lists []core.List `json:"lists"`
+}
+
+// FromLists builds an executable canonical DRIP directly from a span and the
+// lists L_1..L_jterm (the last list must be the terminate list). It is the
+// deserialization counterpart of New.
+func FromLists(sigma int, lists []core.List) (*DRIP, error) {
+	if sigma < 0 {
+		return nil, fmt.Errorf("canonical: negative span %d", sigma)
+	}
+	if len(lists) == 0 {
+		return nil, fmt.Errorf("canonical: no lists")
+	}
+	if !lists[len(lists)-1].Terminate {
+		return nil, fmt.Errorf("canonical: final list is not the terminate list")
+	}
+	for j, l := range lists {
+		if !l.Terminate && len(l.Entries) == 0 {
+			return nil, fmt.Errorf("canonical: list L_%d has no entries", j+1)
+		}
+	}
+	d := &DRIP{Sigma: sigma, Lists: lists}
+	d.phaseEnds = make([]int, len(lists)+1)
+	blockLen := 2*sigma + 1
+	for j := 1; j <= len(lists); j++ {
+		if lists[j-1].Terminate {
+			d.phaseEnds[j] = d.phaseEnds[j-1] + 1
+		} else {
+			d.phaseEnds[j] = d.phaseEnds[j-1] + lists[j-1].NumClasses()*blockLen + sigma
+		}
+	}
+	return d, nil
+}
+
+// Blueprint returns the serializable description of the protocol.
+func (d *DRIP) Blueprint() Blueprint {
+	return Blueprint{Sigma: d.Sigma, Lists: d.Lists}
+}
+
+// MarshalJSON encodes the protocol as its blueprint.
+func (d *DRIP) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.Blueprint())
+}
+
+// UnmarshalBlueprint decodes a blueprint and rebuilds the executable
+// protocol.
+func UnmarshalBlueprint(data []byte) (*DRIP, error) {
+	var bp Blueprint
+	if err := json.Unmarshal(data, &bp); err != nil {
+		return nil, fmt.Errorf("canonical: decoding blueprint: %w", err)
+	}
+	return FromLists(bp.Sigma, bp.Lists)
+}

@@ -1,0 +1,89 @@
+package canonical
+
+import (
+	"encoding/json"
+	"testing"
+
+	"anonradio/internal/config"
+	"anonradio/internal/core"
+	"anonradio/internal/radio"
+)
+
+func TestFromListsValidation(t *testing.T) {
+	rep, err := core.Classify(config.SpanFamilyH(2))
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if _, err := FromLists(-1, rep.Lists); err == nil {
+		t.Fatalf("negative span should be rejected")
+	}
+	if _, err := FromLists(3, nil); err == nil {
+		t.Fatalf("empty list set should be rejected")
+	}
+	if _, err := FromLists(3, rep.Lists[:len(rep.Lists)-1]); err == nil {
+		t.Fatalf("missing terminate list should be rejected")
+	}
+	broken := append([]core.List{{Entries: nil}}, rep.Lists...)
+	if _, err := FromLists(3, broken); err == nil {
+		t.Fatalf("non-terminate list without entries should be rejected")
+	}
+	if _, err := FromLists(rep.Config.Span(), rep.Lists); err != nil {
+		t.Fatalf("valid lists rejected: %v", err)
+	}
+}
+
+func TestBlueprintRoundTrip(t *testing.T) {
+	cases := []*config.Config{
+		config.SingleNode(),
+		config.SpanFamilyH(3),
+		config.LineFamilyG(3),
+		config.StaggeredClique(5),
+	}
+	for _, cfg := range cases {
+		rep, err := core.Classify(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		original, err := New(rep)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		data, err := json.Marshal(original)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", cfg, err)
+		}
+		decoded, err := UnmarshalBlueprint(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", cfg, err)
+		}
+		if decoded.Sigma != original.Sigma || decoded.Phases() != original.Phases() {
+			t.Fatalf("%s: blueprint round trip changed the protocol shape", cfg)
+		}
+		if decoded.TerminationRound() != original.TerminationRound() {
+			t.Fatalf("%s: termination round changed: %d vs %d", cfg, decoded.TerminationRound(), original.TerminationRound())
+		}
+		// The decoded protocol produces exactly the same execution.
+		a, err := radio.Sequential{}.Run(cfg.Normalized(), original, radio.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		b, err := radio.Sequential{}.Run(cfg.Normalized(), decoded, radio.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		for v := 0; v < cfg.N(); v++ {
+			if !a.Histories[v].Equal(b.Histories[v]) {
+				t.Fatalf("%s: decoded protocol diverged at node %d", cfg, v)
+			}
+		}
+	}
+}
+
+func TestUnmarshalBlueprintErrors(t *testing.T) {
+	if _, err := UnmarshalBlueprint([]byte("{not json")); err == nil {
+		t.Fatalf("invalid JSON should error")
+	}
+	if _, err := UnmarshalBlueprint([]byte(`{"sigma": 1, "lists": []}`)); err == nil {
+		t.Fatalf("blueprint without lists should error")
+	}
+}

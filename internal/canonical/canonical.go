@@ -1,0 +1,177 @@
+// Package canonical implements the canonical DRIP D_G of Section 3.3.1: the
+// distributed protocol, derived from a Classifier run on a configuration G,
+// that is installed identically at every (anonymous) node and that solves
+// leader election on G whenever G is feasible (Theorem 3.15).
+//
+// The protocol is organised in phases. Phase P_0 is the wake-up round. For
+// j >= 1, phase P_j either instructs the node to terminate (when the list
+// L_j is the terminate list) or consists of numClasses_j transmission blocks
+// of 2σ+1 rounds each followed by σ listening rounds. Within a phase a node
+// transmits exactly once: in the (σ+1)-th round of the block whose index
+// equals the equivalence class the node belongs to at the start of the
+// phase. The node determines that class on its own by matching its history
+// of the previous phase against the per-class entries of L_j, which are
+// hard-coded into the protocol.
+package canonical
+
+import (
+	"fmt"
+
+	"anonradio/internal/core"
+	"anonradio/internal/drip"
+	"anonradio/internal/history"
+)
+
+// Message is the payload transmitted by the canonical DRIP (the string ‘1’ of
+// the paper).
+const Message = "1"
+
+// DRIP is the executable canonical protocol for one configuration. It is a
+// pure function of the node's history, so a single value can be shared by
+// all nodes (and by concurrently running goroutines).
+type DRIP struct {
+	// Sigma is the span σ of the configuration the protocol was built for.
+	Sigma int
+	// Lists holds L_1 .. L_jterm as produced by the Classifier.
+	Lists []core.List
+
+	// phaseEnds[j] is r_j, the local round in which phase P_j ends;
+	// phaseEnds[0] = r_0 = 0.
+	phaseEnds []int
+}
+
+// New builds the canonical DRIP from a Classifier report. The report may
+// describe an infeasible configuration: the protocol is still well defined
+// (every node terminates after the last phase), it just cannot elect a
+// leader.
+func New(report *core.Report) (*DRIP, error) {
+	if report == nil {
+		return nil, fmt.Errorf("canonical: nil report")
+	}
+	if len(report.Lists) == 0 {
+		return nil, fmt.Errorf("canonical: report has no lists")
+	}
+	return FromLists(report.Config.Span(), report.Lists)
+}
+
+// Phases returns the number of phases P_1 .. P_jterm (including the final
+// terminate phase).
+func (d *DRIP) Phases() int { return len(d.Lists) }
+
+// PhaseEnd returns r_j, the local round in which phase P_j ends (r_0 = 0).
+func (d *DRIP) PhaseEnd(j int) int { return d.phaseEnds[j] }
+
+// TerminationRound returns the local round in which every node terminates
+// (r_{jterm-1} + 1 = r_{jterm}).
+func (d *DRIP) TerminationRound() int { return d.phaseEnds[len(d.phaseEnds)-1] }
+
+// phaseOf returns the phase number j such that local round i belongs to
+// phase P_j. Rounds beyond the final phase map to the final phase.
+func (d *DRIP) phaseOf(i int) int {
+	for j := 1; j < len(d.phaseEnds); j++ {
+		if i <= d.phaseEnds[j] {
+			return j
+		}
+	}
+	return len(d.phaseEnds) - 1
+}
+
+// Act implements drip.Protocol.
+func (d *DRIP) Act(h history.Vector) drip.Action {
+	i := len(h) // current local round
+	j := d.phaseOf(i)
+	list := d.Lists[j-1]
+	if list.Terminate {
+		return drip.TerminateAction()
+	}
+	blockLen := 2*d.Sigma + 1
+	offset := i - d.phaseEnds[j-1]
+	if offset > list.NumClasses()*blockLen {
+		// The σ listening rounds at the end of the phase.
+		return drip.ListenAction()
+	}
+	block := (offset-1)/blockLen + 1
+	round := (offset-1)%blockLen + 1
+	if round != d.Sigma+1 {
+		return drip.ListenAction()
+	}
+	tb := d.TransmissionBlock(h, j)
+	if tb != 0 && block == tb {
+		return drip.TransmitAction(Message)
+	}
+	return drip.ListenAction()
+}
+
+// TransmissionBlock returns the transmission block (equivalence class) the
+// node with history h uses in phase j, computed by the matching procedure of
+// Section 3.3.1: tBlock starts at 1 and is re-derived at each phase boundary
+// by comparing the previous phase's history with the entries of L_j. It
+// returns 0 if no entry matches, which can only happen when the protocol is
+// executed on a configuration other than the one it was built for; such a
+// node never transmits again.
+func (d *DRIP) TransmissionBlock(h history.Vector, j int) int {
+	tb := 1
+	for jj := 2; jj <= j; jj++ {
+		tb = d.matchEntry(h, jj, tb)
+		if tb == 0 {
+			return 0
+		}
+	}
+	return tb
+}
+
+// matchEntry finds the index k of the entry of L_jj that matches the node's
+// history during phase P_{jj-1}, given that the node transmitted in block
+// prevTB of that phase. It returns 0 if no entry matches.
+func (d *DRIP) matchEntry(h history.Vector, jj, prevTB int) int {
+	cur := d.Lists[jj-1]  // L_jj
+	prev := d.Lists[jj-2] // L_{jj-1}
+	if cur.Terminate || prev.Terminate {
+		return 0
+	}
+	blockLen := 2*d.Sigma + 1
+	prevStart := d.phaseEnds[jj-2] // r_{jj-2}
+
+	for k := 1; k <= len(cur.Entries); k++ {
+		entry := cur.Entries[k-1]
+		if entry.OldClass != prevTB {
+			continue
+		}
+		if d.historyMatchesLabel(h, prevStart, prev.NumClasses(), blockLen, entry.Label) {
+			return k
+		}
+	}
+	return 0
+}
+
+// historyMatchesLabel checks the per-round conditions of the matching
+// procedure: for every round t = prevStart + (a-1)*blockLen + b of the
+// previous phase's transmission blocks, the history entry at t must agree
+// with the presence/absence and multiplicity of the triple (a, b, ·) in the
+// label.
+func (d *DRIP) historyMatchesLabel(h history.Vector, prevStart, numBlocks, blockLen int, label core.Label) bool {
+	for a := 1; a <= numBlocks; a++ {
+		for b := 1; b <= blockLen; b++ {
+			t := prevStart + (a-1)*blockLen + b
+			if t >= len(h) {
+				return false
+			}
+			triple, found := label.Find(a, b)
+			switch h[t].Kind {
+			case history.Message:
+				if h[t].Msg != Message || !found || triple.Multi {
+					return false
+				}
+			case history.Noise:
+				if !found || !triple.Multi {
+					return false
+				}
+			case history.Silence:
+				if found {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

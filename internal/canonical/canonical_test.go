@@ -1,0 +1,292 @@
+package canonical
+
+import (
+	"testing"
+
+	"anonradio/internal/config"
+	"anonradio/internal/core"
+	"anonradio/internal/drip"
+	"anonradio/internal/history"
+	"anonradio/internal/radio"
+)
+
+func build(t *testing.T, cfg *config.Config) (*core.Report, *DRIP) {
+	t.Helper()
+	rep, err := core.Classify(cfg)
+	if err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+	d, err := New(rep)
+	if err != nil {
+		t.Fatalf("new canonical DRIP: %v", err)
+	}
+	return rep, d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatalf("nil report should be rejected")
+	}
+	rep, _ := core.Classify(config.SpanFamilyH(1))
+	broken := *rep
+	broken.Lists = nil
+	if _, err := New(&broken); err == nil {
+		t.Fatalf("report without lists should be rejected")
+	}
+	broken2 := *rep
+	broken2.Lists = rep.Lists[:len(rep.Lists)-1]
+	if _, err := New(&broken2); err == nil {
+		t.Fatalf("report without a final terminate list should be rejected")
+	}
+}
+
+func TestPhaseStructureSingleNode(t *testing.T) {
+	// Single node, σ=0: phase P_1 has one block of one round and no trailing
+	// listening rounds, then the terminate phase.
+	_, d := build(t, config.SingleNode())
+	if d.Phases() != 2 {
+		t.Fatalf("phases = %d, want 2", d.Phases())
+	}
+	if d.PhaseEnd(0) != 0 || d.PhaseEnd(1) != 1 || d.TerminationRound() != 2 {
+		t.Fatalf("phase ends wrong: r0=%d r1=%d term=%d", d.PhaseEnd(0), d.PhaseEnd(1), d.TerminationRound())
+	}
+	// Local round 1: transmit in block 1 (round σ+1 = 1).
+	h := history.Vector{history.Silent()}
+	if a := d.Act(h); a.Kind != drip.Transmit || a.Msg != Message {
+		t.Fatalf("round 1 action = %v, want transmit", a)
+	}
+	// Local round 2: terminate.
+	h = append(h, history.Silent())
+	if a := d.Act(h); a.Kind != drip.Terminate {
+		t.Fatalf("round 2 action = %v, want terminate", a)
+	}
+}
+
+func TestPhaseStructureSpanFamily(t *testing.T) {
+	// H_2: σ = 3, classifier needs 1 iteration, so the DRIP has phase P_1
+	// (1 class => 1 block of 2σ+1 = 7 rounds, plus σ = 3 listen rounds) and
+	// the terminate phase.
+	cfg := config.SpanFamilyH(2)
+	_, d := build(t, cfg)
+	if d.Sigma != 3 {
+		t.Fatalf("sigma = %d, want 3", d.Sigma)
+	}
+	if d.Phases() != 2 {
+		t.Fatalf("phases = %d, want 2", d.Phases())
+	}
+	wantR1 := 1*(2*3+1) + 3
+	if d.PhaseEnd(1) != wantR1 {
+		t.Fatalf("r1 = %d, want %d", d.PhaseEnd(1), wantR1)
+	}
+	if d.TerminationRound() != wantR1+1 {
+		t.Fatalf("termination round = %d, want %d", d.TerminationRound(), wantR1+1)
+	}
+}
+
+func TestActTransmitsAtSigmaPlusOne(t *testing.T) {
+	cfg := config.SpanFamilyH(2) // σ=3
+	_, d := build(t, cfg)
+	// A spontaneously-woken node with an all-silent history transmits in its
+	// local round σ+1 = 4 of block 1 and listens in every other round of
+	// phase 1.
+	h := history.Vector{history.Silent()}
+	for i := 1; i <= d.PhaseEnd(1); i++ {
+		a := d.Act(h)
+		if i == d.Sigma+1 {
+			if a.Kind != drip.Transmit {
+				t.Fatalf("round %d should transmit, got %v", i, a)
+			}
+		} else if a.Kind != drip.Listen {
+			t.Fatalf("round %d should listen, got %v", i, a)
+		}
+		h = append(h, history.Silent())
+	}
+	if a := d.Act(h); a.Kind != drip.Terminate {
+		t.Fatalf("round %d should terminate, got %v", len(h), a)
+	}
+}
+
+func TestTransmissionBlockMatching(t *testing.T) {
+	// G_2 needs 2 iterations, so phase 2 exists and nodes must re-derive
+	// their block from their phase-1 history. Simulate and check that the
+	// block each node computes equals its class in the classifier snapshot.
+	cfg := config.LineFamilyG(2)
+	rep, d := build(t, cfg)
+	res, err := radio.Sequential{}.Run(cfg, d, radio.Options{})
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	for j := 1; j <= d.Phases(); j++ {
+		if d.Lists[j-1].Terminate {
+			continue
+		}
+		snap := rep.Snapshots[j-1]
+		for v := 0; v < cfg.N(); v++ {
+			tb := d.TransmissionBlock(res.Histories[v], j)
+			if tb != snap.Classes[v] {
+				t.Fatalf("phase %d node %d: transmission block %d, classifier class %d",
+					j, v, tb, snap.Classes[v])
+			}
+		}
+	}
+}
+
+func TestTransmissionBlockNoMatchReturnsZero(t *testing.T) {
+	// Feed a history that cannot arise on the configuration the DRIP was
+	// built for: a noise entry in a round where the label demands silence.
+	cfg := config.LineFamilyG(2)
+	_, d := build(t, cfg)
+	h := make(history.Vector, d.PhaseEnd(1)+1)
+	for i := range h {
+		h[i] = history.Collision()
+	}
+	if tb := d.TransmissionBlock(h, 2); tb != 0 {
+		t.Fatalf("expected no match (0), got %d", tb)
+	}
+	// A node with no match keeps listening instead of transmitting in
+	// phase 2.
+	h = append(h, history.Silent())
+	for len(h) <= d.PhaseEnd(1)+d.Sigma+1 {
+		h = append(h, history.Silent())
+	}
+	if a := d.Act(h[:d.PhaseEnd(1)+d.Sigma+1]); a.Kind == drip.Transmit {
+		t.Fatalf("unmatched node must not transmit")
+	}
+}
+
+func TestForeignMessageBreaksMatch(t *testing.T) {
+	cfg := config.LineFamilyG(2)
+	rep, d := build(t, cfg)
+	res, err := radio.Sequential{}.Run(cfg, d, radio.Options{})
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	// Take a node that heard a message in phase 1 and replace the message
+	// content with something the canonical DRIP never sends.
+	var victim = -1
+	for v := 0; v < cfg.N(); v++ {
+		for i := 1; i <= d.PhaseEnd(1); i++ {
+			if res.Histories[v][i].Kind == history.Message {
+				victim = v
+				break
+			}
+		}
+		if victim >= 0 {
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatalf("no node heard a message in phase 1")
+	}
+	mutated := res.Histories[victim].Clone()
+	for i := 1; i <= d.PhaseEnd(1); i++ {
+		if mutated[i].Kind == history.Message {
+			mutated[i] = history.Received("bogus")
+		}
+	}
+	if tb := d.TransmissionBlock(mutated, 2); tb == rep.Snapshots[1].Classes[victim] {
+		t.Fatalf("foreign message should not match the original class")
+	}
+}
+
+func TestEveryNodeTransmitsOncePerPhase(t *testing.T) {
+	// Design property of D_G: in every non-terminate phase every node
+	// transmits exactly once (in its own block). Verify via the trace.
+	cases := []*config.Config{
+		config.SpanFamilyH(2),
+		config.LineFamilyG(2),
+		config.StaggeredClique(5),
+		config.EarlyCenterStar(5, 2),
+		config.TwoBlockCycle(3),
+	}
+	for _, cfg := range cases {
+		rep, d := build(t, cfg)
+		if !rep.Feasible() {
+			t.Fatalf("%s: test expects feasible configurations", cfg)
+		}
+		res, err := radio.Sequential{}.Run(cfg, d, radio.Options{RecordTrace: true})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		transmissions := make([]int, cfg.N())
+		for _, rec := range res.Trace.Rounds {
+			for _, v := range rec.Transmitters {
+				transmissions[v]++
+			}
+		}
+		nonTerminatePhases := d.Phases() - 1
+		for v, c := range transmissions {
+			if c != nonTerminatePhases {
+				t.Fatalf("%s: node %d transmitted %d times, want %d", cfg, v, c, nonTerminatePhases)
+			}
+		}
+	}
+}
+
+func TestPatienceOfCanonicalDRIP(t *testing.T) {
+	// Lemma 3.6: no node transmits in global rounds 0..σ, so every node
+	// wakes up spontaneously.
+	cases := []*config.Config{
+		config.SpanFamilyH(3),
+		config.LineFamilyG(3),
+		config.StaggeredPath(6, 2),
+	}
+	for _, cfg := range cases {
+		_, d := build(t, cfg)
+		res, err := radio.Sequential{}.Run(cfg, d, radio.Options{RecordTrace: true})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		for v := 0; v < cfg.N(); v++ {
+			if res.Forced[v] || res.WakeRound[v] != cfg.Tag(v) {
+				t.Fatalf("%s: node %d did not wake spontaneously at its tag", cfg, v)
+			}
+		}
+		for _, rec := range res.Trace.Rounds {
+			if rec.Global <= cfg.Span() && len(rec.Transmitters) > 0 {
+				t.Fatalf("%s: transmission in global round %d <= σ=%d", cfg, rec.Global, cfg.Span())
+			}
+		}
+	}
+}
+
+func TestTerminationBound(t *testing.T) {
+	// Lemma 3.10: every node terminates within O(n²σ) local rounds; check
+	// the concrete bound ⌈n/2⌉ * (n*(2σ+1) + σ) + 1.
+	cases := []*config.Config{
+		config.SpanFamilyH(4),
+		config.LineFamilyG(3),
+		config.StaggeredClique(8),
+	}
+	for _, cfg := range cases {
+		_, d := build(t, cfg)
+		n, sigma := cfg.N(), cfg.Span()
+		bound := (n+1)/2*(n*(2*sigma+1)+sigma) + 1
+		if d.TerminationRound() > bound {
+			t.Fatalf("%s: termination round %d exceeds bound %d", cfg, d.TerminationRound(), bound)
+		}
+	}
+}
+
+func TestInfeasibleConfigurationStillTerminates(t *testing.T) {
+	// The canonical DRIP is well defined for infeasible configurations too:
+	// all nodes terminate, they just cannot be told apart.
+	cfg := config.SymmetricFamilyS(2)
+	rep, d := build(t, cfg)
+	if rep.Feasible() {
+		t.Fatalf("S_2 should be infeasible")
+	}
+	res, err := radio.Sequential{}.Run(cfg, d, radio.Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	for v := 0; v < cfg.N(); v++ {
+		if res.DoneLocal[v] != d.TerminationRound() {
+			t.Fatalf("node %d terminated at %d, want %d", v, res.DoneLocal[v], d.TerminationRound())
+		}
+	}
+	// Symmetric nodes end with identical histories.
+	if !res.Histories[0].Equal(res.Histories[3]) || !res.Histories[1].Equal(res.Histories[2]) {
+		t.Fatalf("symmetric nodes should have identical histories")
+	}
+}

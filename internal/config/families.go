@@ -1,0 +1,179 @@
+package config
+
+import (
+	"fmt"
+
+	"anonradio/internal/graph"
+)
+
+// This file constructs the configuration families that appear in the paper's
+// negative results (Section 4), plus a few additional deterministic families
+// used by the experiments.
+
+// LineFamilyG returns the configuration G_m of Proposition 4.1: a line of
+// n = 4m+1 nodes
+//
+//	a_1 ... a_m  b_1 ... b_{2m+1}  c_m ... c_1
+//
+// listed left to right, where the a and c nodes have wake-up tag 0 and the b
+// nodes have tag 1. Its span is 1 and every dedicated leader election
+// algorithm for it needs Ω(n) rounds. It requires m >= 2.
+func LineFamilyG(m int) *Config {
+	if m < 2 {
+		panic(fmt.Sprintf("config: LineFamilyG requires m >= 2, got %d", m))
+	}
+	n := 4*m + 1
+	g := graph.Path(n)
+	tags := make([]int, n)
+	for i := 0; i < m; i++ {
+		tags[i] = 0     // a_1..a_m
+		tags[n-1-i] = 0 // c_1..c_m (right end)
+	}
+	for i := m; i < m+2*m+1; i++ {
+		tags[i] = 1 // b_1..b_{2m+1}
+	}
+	c := MustNew(g, tags)
+	c.Name = fmt.Sprintf("G_%d", m)
+	return c
+}
+
+// SpanFamilyH returns the configuration H_m of Lemma 4.2: a 4-node line
+// a-b-c-d where b and c have tag 0, a has tag m and d has tag m+1. Every H_m
+// is feasible but needs at least m rounds to elect a leader; its span is m+1.
+// It requires m >= 1.
+func SpanFamilyH(m int) *Config {
+	if m < 1 {
+		panic(fmt.Sprintf("config: SpanFamilyH requires m >= 1, got %d", m))
+	}
+	g := graph.Path(4)
+	// Node order on the path: 0=a, 1=b, 2=c, 3=d.
+	tags := []int{m, 0, 0, m + 1}
+	c := MustNew(g, tags)
+	c.Name = fmt.Sprintf("H_%d", m)
+	return c
+}
+
+// SymmetricFamilyS returns the configuration S_m of Proposition 4.5: a 4-node
+// line a-b-c-d where b and c have tag 0 and both a and d have tag m. Every
+// S_m is infeasible (the configuration is perfectly symmetric), yet for the
+// right m it is indistinguishable from the feasible H_m to any fixed
+// distributed algorithm. It requires m >= 1.
+func SymmetricFamilyS(m int) *Config {
+	if m < 1 {
+		panic(fmt.Sprintf("config: SymmetricFamilyS requires m >= 1, got %d", m))
+	}
+	g := graph.Path(4)
+	tags := []int{m, 0, 0, m}
+	c := MustNew(g, tags)
+	c.Name = fmt.Sprintf("S_%d", m)
+	return c
+}
+
+// SingleNode returns the trivial one-node configuration, which is feasible
+// (the single node is the leader).
+func SingleNode() *Config {
+	c := MustNew(graph.New(1), []int{0})
+	c.Name = "single"
+	return c
+}
+
+// SymmetricPair returns the smallest infeasible configuration: two adjacent
+// nodes that wake up in the same round. Neither can ever break symmetry.
+func SymmetricPair() *Config {
+	g := graph.Path(2)
+	c := MustNew(g, []int{0, 0})
+	c.Name = "pair-symmetric"
+	return c
+}
+
+// AsymmetricPair returns the smallest non-trivial feasible configuration with
+// more than one node: two adjacent nodes with wake-up tags 0 and delay.
+// It requires delay >= 1.
+func AsymmetricPair(delay int) *Config {
+	if delay < 1 {
+		panic(fmt.Sprintf("config: AsymmetricPair requires delay >= 1, got %d", delay))
+	}
+	g := graph.Path(2)
+	c := MustNew(g, []int{0, delay})
+	c.Name = fmt.Sprintf("pair-%d", delay)
+	return c
+}
+
+// UniformTags returns a configuration over g in which every node has the same
+// tag (normalized to 0). Such configurations are infeasible whenever the
+// graph has at least 2 nodes: all nodes remain forever symmetric.
+func UniformTags(g *graph.Graph) *Config {
+	c := MustNew(g, make([]int, g.N()))
+	c.Name = "uniform"
+	return c
+}
+
+// StaggeredPath returns a path configuration on n nodes where node i has tag
+// i*step, producing span (n-1)*step. With step >= 1 every node has a unique
+// tag, so the configuration is always feasible.
+func StaggeredPath(n, step int) *Config {
+	if n < 1 || step < 0 {
+		panic(fmt.Sprintf("config: StaggeredPath requires n >= 1 and step >= 0, got n=%d step=%d", n, step))
+	}
+	g := graph.Path(n)
+	tags := make([]int, n)
+	for i := range tags {
+		tags[i] = i * step
+	}
+	c := MustNew(g, tags)
+	c.Name = fmt.Sprintf("staggered-path-%d-%d", n, step)
+	return c
+}
+
+// StaggeredClique returns a complete graph on n nodes where node i has tag i.
+// All tags are distinct so the configuration is feasible; it is the dense
+// counterpart of StaggeredPath for the Δ-scaling experiments.
+func StaggeredClique(n int) *Config {
+	if n < 1 {
+		panic(fmt.Sprintf("config: StaggeredClique requires n >= 1, got %d", n))
+	}
+	g := graph.Complete(n)
+	tags := make([]int, n)
+	for i := range tags {
+		tags[i] = i
+	}
+	c := MustNew(g, tags)
+	c.Name = fmt.Sprintf("staggered-clique-%d", n)
+	return c
+}
+
+// EarlyCenterStar returns a star on n nodes in which the centre wakes up at
+// round 0 and all leaves wake up at round leafTag >= 1. The centre wakes the
+// leaves by its first transmission, so the configuration is feasible for any
+// n >= 2.
+func EarlyCenterStar(n, leafTag int) *Config {
+	if n < 2 || leafTag < 1 {
+		panic(fmt.Sprintf("config: EarlyCenterStar requires n >= 2 and leafTag >= 1, got n=%d leafTag=%d", n, leafTag))
+	}
+	g := graph.Star(n)
+	tags := make([]int, n)
+	for i := 1; i < n; i++ {
+		tags[i] = leafTag
+	}
+	c := MustNew(g, tags)
+	c.Name = fmt.Sprintf("early-center-star-%d-%d", n, leafTag)
+	return c
+}
+
+// TwoBlockCycle returns a cycle on 2k nodes where the first k consecutive
+// nodes have tag 0 and the remaining k have tag 1. These configurations have
+// non-trivial symmetry structure and are useful stress tests for the
+// classifier. Requires k >= 2.
+func TwoBlockCycle(k int) *Config {
+	if k < 2 {
+		panic(fmt.Sprintf("config: TwoBlockCycle requires k >= 2, got %d", k))
+	}
+	g := graph.Cycle(2 * k)
+	tags := make([]int, 2*k)
+	for i := k; i < 2*k; i++ {
+		tags[i] = 1
+	}
+	c := MustNew(g, tags)
+	c.Name = fmt.Sprintf("two-block-cycle-%d", k)
+	return c
+}

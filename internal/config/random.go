@@ -1,0 +1,164 @@
+package config
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anonradio/internal/graph"
+)
+
+// This file provides tag-assignment strategies and random configuration
+// workload generators used by the experiments and the property-based tests.
+
+// TagStrategy assigns a wake-up tag to each node of a graph.
+type TagStrategy interface {
+	// Assign returns a tag vector for g. Implementations must return
+	// non-negative tags and a slice of length g.N().
+	Assign(g *graph.Graph, rng *rand.Rand) []int
+	// Name returns a short identifier used in reports.
+	Name() string
+}
+
+// UniformRandomTags assigns each node an independent uniform tag in
+// [0, Span].
+type UniformRandomTags struct {
+	// Span is the largest tag value that may be assigned (inclusive).
+	Span int
+}
+
+// Assign implements TagStrategy.
+func (s UniformRandomTags) Assign(g *graph.Graph, rng *rand.Rand) []int {
+	tags := make([]int, g.N())
+	for i := range tags {
+		tags[i] = rng.Intn(s.Span + 1)
+	}
+	return tags
+}
+
+// Name implements TagStrategy.
+func (s UniformRandomTags) Name() string { return fmt.Sprintf("uniform[0..%d]", s.Span) }
+
+// DistinctRandomTags assigns a random permutation of 0..n-1 as tags, so every
+// node has a unique wake-up round.
+type DistinctRandomTags struct{}
+
+// Assign implements TagStrategy.
+func (DistinctRandomTags) Assign(g *graph.Graph, rng *rand.Rand) []int {
+	return rng.Perm(g.N())
+}
+
+// Name implements TagStrategy.
+func (DistinctRandomTags) Name() string { return "distinct-perm" }
+
+// BlockTags partitions the nodes into Blocks contiguous index blocks and
+// assigns all nodes of block i the tag i. This produces heavily tied tags
+// with a small span, the regime where infeasible configurations are common.
+type BlockTags struct {
+	// Blocks is the number of distinct tag values (>= 1).
+	Blocks int
+}
+
+// Assign implements TagStrategy.
+func (s BlockTags) Assign(g *graph.Graph, rng *rand.Rand) []int {
+	b := s.Blocks
+	if b < 1 {
+		b = 1
+	}
+	n := g.N()
+	tags := make([]int, n)
+	if n == 0 {
+		return tags
+	}
+	for i := range tags {
+		tags[i] = i * b / n
+		if tags[i] >= b {
+			tags[i] = b - 1
+		}
+	}
+	return tags
+}
+
+// Name implements TagStrategy.
+func (s BlockTags) Name() string { return fmt.Sprintf("blocks-%d", s.Blocks) }
+
+// BFSLayerTags assigns each node a tag equal to its BFS distance from node 0.
+// The wake-up wave therefore follows the topology, a natural scenario for a
+// network switched on at a single point.
+type BFSLayerTags struct{}
+
+// Assign implements TagStrategy.
+func (BFSLayerTags) Assign(g *graph.Graph, rng *rand.Rand) []int {
+	if g.N() == 0 {
+		return nil
+	}
+	dist := g.BFS(0)
+	tags := make([]int, g.N())
+	for v, d := range dist {
+		if d < 0 {
+			d = 0
+		}
+		tags[v] = d
+	}
+	return tags
+}
+
+// Name implements TagStrategy.
+func (BFSLayerTags) Name() string { return "bfs-layers" }
+
+// SingleEarlyTags gives one uniformly chosen node the tag 0 and all others
+// the tag late (>= 1): one node wakes up first and must wake up the rest.
+type SingleEarlyTags struct {
+	// Late is the tag of every node except the chosen early one.
+	Late int
+}
+
+// Assign implements TagStrategy.
+func (s SingleEarlyTags) Assign(g *graph.Graph, rng *rand.Rand) []int {
+	late := s.Late
+	if late < 1 {
+		late = 1
+	}
+	tags := make([]int, g.N())
+	for i := range tags {
+		tags[i] = late
+	}
+	if g.N() > 0 {
+		tags[rng.Intn(g.N())] = 0
+	}
+	return tags
+}
+
+// Name implements TagStrategy.
+func (s SingleEarlyTags) Name() string { return fmt.Sprintf("single-early-%d", s.Late) }
+
+// Random generates a random connected configuration with n nodes: the graph
+// is drawn from RandomConnectedGNP(n, p) and the tags from the given
+// strategy. The result is normalized so its smallest tag is 0.
+func Random(n int, p float64, strategy TagStrategy, rng *rand.Rand) *Config {
+	g := graph.RandomConnectedGNP(n, p, rng)
+	tags := strategy.Assign(g, rng)
+	c := MustNew(g, tags).Normalized()
+	c.Name = fmt.Sprintf("random-n%d-p%.2f-%s", n, p, strategy.Name())
+	return c
+}
+
+// RandomTreeConfig generates a random tree configuration with n nodes and
+// tags from the given strategy, normalized.
+func RandomTreeConfig(n int, strategy TagStrategy, rng *rand.Rand) *Config {
+	g := graph.RandomTree(n, rng)
+	tags := strategy.Assign(g, rng)
+	c := MustNew(g, tags).Normalized()
+	c.Name = fmt.Sprintf("random-tree-n%d-%s", n, strategy.Name())
+	return c
+}
+
+// Batch generates count independent random configurations with the same
+// parameters. It is the workload generator used by the feasibility-survey
+// experiment.
+func Batch(count, n int, p float64, strategy TagStrategy, rng *rand.Rand) []*Config {
+	out := make([]*Config, count)
+	for i := range out {
+		out[i] = Random(n, p, strategy, rng)
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anonradio/internal/config"
+	"anonradio/internal/graph"
+)
+
+func TestClassifyFastInputValidation(t *testing.T) {
+	if _, err := ClassifyFast(nil); err == nil {
+		t.Fatalf("nil configuration should error")
+	}
+	bad := config.NewUnchecked(graph.New(3), []int{0, 0, 0})
+	if _, err := ClassifyFast(bad); err == nil {
+		t.Fatalf("disconnected configuration should error")
+	}
+}
+
+func reportsEquivalent(a, b *Report) bool {
+	if a.Feasible() != b.Feasible() || a.Leader != b.Leader || a.LeaderClass != b.LeaderClass {
+		return false
+	}
+	if a.Iterations() != b.Iterations() || len(a.Lists) != len(b.Lists) {
+		return false
+	}
+	for j := range a.Snapshots {
+		sa, sb := a.Snapshots[j], b.Snapshots[j]
+		if sa.NumClasses != sb.NumClasses {
+			return false
+		}
+		for v := range sa.Classes {
+			if sa.Classes[v] != sb.Classes[v] {
+				return false
+			}
+			if !sa.Labels[v].Equal(sb.Labels[v]) {
+				return false
+			}
+		}
+		for k := range sa.Reps {
+			if sa.Reps[k] != sb.Reps[k] {
+				return false
+			}
+		}
+	}
+	for j := range a.Lists {
+		la, lb := a.Lists[j], b.Lists[j]
+		if la.Terminate != lb.Terminate || len(la.Entries) != len(lb.Entries) {
+			return false
+		}
+		for k := range la.Entries {
+			if la.Entries[k].OldClass != lb.Entries[k].OldClass {
+				return false
+			}
+			if !la.Entries[k].Label.Equal(lb.Entries[k].Label) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestClassifyFastAgreesOnFamilies(t *testing.T) {
+	cases := []*config.Config{
+		config.SingleNode(),
+		config.SymmetricPair(),
+		config.AsymmetricPair(3),
+		config.SpanFamilyH(1),
+		config.SpanFamilyH(5),
+		config.SymmetricFamilyS(3),
+		config.LineFamilyG(2),
+		config.LineFamilyG(4),
+		config.StaggeredPath(9, 1),
+		config.StaggeredClique(7),
+		config.EarlyCenterStar(6, 2),
+		config.TwoBlockCycle(3),
+		config.TwoBlockCycle(4),
+		config.UniformTags(graph.Hypercube(3)),
+	}
+	for _, cfg := range cases {
+		slow, err := Classify(cfg)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", cfg, err)
+		}
+		fast, err := ClassifyFast(cfg)
+		if err != nil {
+			t.Fatalf("%s fast: %v", cfg, err)
+		}
+		if !reportsEquivalent(slow, fast) {
+			t.Fatalf("%s: fast classifier diverged from the baseline\nbaseline:\n%s\nfast:\n%s",
+				cfg, slow.Summary(), fast.Summary())
+		}
+	}
+}
+
+func TestPropertyClassifyFastAgreesOnRandom(t *testing.T) {
+	f := func(seed int64, sz, span uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%16) + 1
+		cfg := config.Random(n, 0.3, config.UniformRandomTags{Span: int(span % 6)}, rng)
+		slow, err1 := Classify(cfg)
+		fast, err2 := ClassifyFast(cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return reportsEquivalent(slow, fast)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatalf("fast classifier disagreement: %v", err)
+	}
+}
+
+func TestClassifyFastStatsPopulated(t *testing.T) {
+	rep, err := ClassifyFast(config.LineFamilyG(3))
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if rep.Stats.Iterations != rep.Iterations() || rep.Stats.TripleInsertions == 0 || rep.Stats.LabelComparisons == 0 {
+		t.Fatalf("fast classifier stats not populated: %+v", rep.Stats)
+	}
+}
+
+func TestRefineKeyDistinguishes(t *testing.T) {
+	a := refineKey(1, Label{{1, 2, false}})
+	b := refineKey(1, Label{{1, 2, true}})
+	c := refineKey(2, Label{{1, 2, false}})
+	d := refineKey(1, Label{{1, 2, false}, {1, 3, false}})
+	keys := map[string]bool{a: true, b: true, c: true, d: true}
+	if len(keys) != 4 {
+		t.Fatalf("refine keys collide: %q %q %q %q", a, b, c, d)
+	}
+	if refineKey(1, nil) != refineKey(1, Label{}) {
+		t.Fatalf("nil and empty labels should produce the same key")
+	}
+}

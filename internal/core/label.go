@@ -1,0 +1,155 @@
+// Package core implements the paper's primary contribution: the centralized
+// Classifier algorithm (Section 3) that decides in polynomial time whether a
+// configuration is feasible, i.e. whether a deterministic distributed leader
+// election algorithm exists for it, together with the per-iteration data
+// (equivalence classes, labels, representative lists L_j) from which the
+// canonical DRIP of Section 3.3.1 is constructed.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Triple is one element (a, b, c) of a node label as defined in
+// Partitioner (Algorithm 3): a is the equivalence class of a transmitting
+// neighbour (and therefore the transmission block in which it transmits),
+// b = σ+1+t_w−t_v is the local round within that block at which the
+// transmission is heard, and c records whether exactly one (c = 1) or more
+// than one (c = ∗) neighbour transmits in that round.
+type Triple struct {
+	// Class is the component a: the transmitting neighbour's class number
+	// (1-based).
+	Class int
+	// Round is the component b: the local round within the transmission
+	// block, in 1..2σ+1.
+	Round int
+	// Multi is the component c: false for c = 1 (a single transmitter,
+	// message heard), true for c = ∗ (a collision).
+	Multi bool
+}
+
+// String renders the triple in the paper's notation.
+func (t Triple) String() string {
+	c := "1"
+	if t.Multi {
+		c = "*"
+	}
+	return fmt.Sprintf("(%d,%d,%s)", t.Class, t.Round, c)
+}
+
+// Less reports whether t precedes o in the ordering ≺hist of Definition 3.1:
+// by class, then by round, then c = 1 before c = ∗.
+func (t Triple) Less(o Triple) bool {
+	if t.Class != o.Class {
+		return t.Class < o.Class
+	}
+	if t.Round != o.Round {
+		return t.Round < o.Round
+	}
+	return !t.Multi && o.Multi
+}
+
+// Label is a node label vLBL: the concatenation of the triples of N_v in
+// ≺hist order. A nil label is the "null" label of Init-Aug.
+type Label []Triple
+
+// Equal reports whether two labels are identical.
+func (l Label) Equal(o Label) bool {
+	if len(l) != len(o) {
+		return false
+	}
+	for i := range l {
+		if l[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sort orders the label's triples according to ≺hist (Definition 3.1).
+func (l Label) Sort() {
+	sort.Slice(l, func(i, j int) bool { return l[i].Less(l[j]) })
+}
+
+// String renders the label; the null label renders as "null".
+func (l Label) String() string {
+	if len(l) == 0 {
+		return "null"
+	}
+	var sb strings.Builder
+	for _, t := range l {
+		sb.WriteString(t.String())
+	}
+	return sb.String()
+}
+
+// Find returns the triple with the given class and round components and true,
+// or a zero Triple and false if no such triple is present.
+func (l Label) Find(class, round int) (Triple, bool) {
+	for _, t := range l {
+		if t.Class == class && t.Round == round {
+			return t, true
+		}
+	}
+	return Triple{}, false
+}
+
+// Clone returns a deep copy of the label.
+func (l Label) Clone() Label {
+	if l == nil {
+		return nil
+	}
+	c := make(Label, len(l))
+	copy(c, l)
+	return c
+}
+
+// ListEntry is one item of a list L_j: the pair (oldClass, label) describing
+// the representative of an equivalence class (Section 3.3.1).
+type ListEntry struct {
+	// OldClass is the class the representative belonged to at the start of
+	// the previous phase.
+	OldClass int
+	// Label is the label the representative was assigned during the previous
+	// phase.
+	Label Label
+}
+
+// List is one list L_j hard-coded into the canonical DRIP: either the single
+// item "terminate", or one ListEntry per equivalence class at the start of
+// phase j.
+type List struct {
+	// Terminate is true when L_j consists of the single string "terminate".
+	Terminate bool
+	// Entries holds the per-class entries when Terminate is false;
+	// Entries[k-1] corresponds to class k.
+	Entries []ListEntry
+}
+
+// NumClasses returns the number of equivalence classes described by the list
+// (0 for a terminate list).
+func (l List) NumClasses() int {
+	if l.Terminate {
+		return 0
+	}
+	return len(l.Entries)
+}
+
+// String renders the list for diagnostics.
+func (l List) String() string {
+	if l.Terminate {
+		return "[terminate]"
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for k, e := range l.Entries {
+		if k > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d:(%d,%s)", k+1, e.OldClass, e.Label.String())
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

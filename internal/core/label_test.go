@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTripleString(t *testing.T) {
+	if s := (Triple{Class: 2, Round: 3}).String(); s != "(2,3,1)" {
+		t.Fatalf("triple string: %q", s)
+	}
+	if s := (Triple{Class: 2, Round: 3, Multi: true}).String(); s != "(2,3,*)" {
+		t.Fatalf("triple string: %q", s)
+	}
+}
+
+func TestTripleLessOrdering(t *testing.T) {
+	// Definition 3.1: order by class, then round, then 1 before *.
+	cases := []struct {
+		a, b Triple
+		less bool
+	}{
+		{Triple{1, 5, true}, Triple{2, 1, false}, true},
+		{Triple{2, 1, false}, Triple{1, 5, true}, false},
+		{Triple{1, 2, false}, Triple{1, 3, false}, true},
+		{Triple{1, 3, false}, Triple{1, 2, true}, false},
+		{Triple{1, 2, false}, Triple{1, 2, true}, true},
+		{Triple{1, 2, true}, Triple{1, 2, false}, false},
+		{Triple{1, 2, true}, Triple{1, 2, true}, false},
+	}
+	for i, c := range cases {
+		if c.a.Less(c.b) != c.less {
+			t.Errorf("case %d: Less(%v,%v) = %v, want %v", i, c.a, c.b, !c.less, c.less)
+		}
+	}
+}
+
+func TestTripleLessIsStrictWeakOrder(t *testing.T) {
+	f := func(c1, r1 uint8, m1 bool, c2, r2 uint8, m2 bool) bool {
+		a := Triple{Class: int(c1 % 5), Round: int(r1 % 5), Multi: m1}
+		b := Triple{Class: int(c2 % 5), Round: int(r2 % 5), Multi: m2}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		// Exactly one of a<b, b<a holds for distinct triples (total order).
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatalf("ordering property failed: %v", err)
+	}
+}
+
+func TestLabelSortAndString(t *testing.T) {
+	l := Label{
+		{Class: 2, Round: 1, Multi: false},
+		{Class: 1, Round: 3, Multi: true},
+		{Class: 1, Round: 3, Multi: false},
+		{Class: 1, Round: 1, Multi: false},
+	}
+	l.Sort()
+	if !sort.SliceIsSorted(l, func(i, j int) bool { return l[i].Less(l[j]) }) {
+		t.Fatalf("label not sorted: %v", l)
+	}
+	if l[0] != (Triple{1, 1, false}) || l[3] != (Triple{2, 1, false}) {
+		t.Fatalf("sorted label wrong: %v", l)
+	}
+	s := l.String()
+	if !strings.HasPrefix(s, "(1,1,1)") {
+		t.Fatalf("label string: %q", s)
+	}
+	var empty Label
+	if empty.String() != "null" {
+		t.Fatalf("null label string: %q", empty.String())
+	}
+}
+
+func TestLabelEqual(t *testing.T) {
+	a := Label{{1, 2, false}, {2, 3, true}}
+	b := Label{{1, 2, false}, {2, 3, true}}
+	c := Label{{1, 2, false}, {2, 3, false}}
+	if !a.Equal(b) {
+		t.Fatalf("identical labels should be equal")
+	}
+	if a.Equal(c) || a.Equal(a[:1]) {
+		t.Fatalf("different labels should not be equal")
+	}
+	var nilLabel Label
+	if !nilLabel.Equal(Label{}) {
+		t.Fatalf("nil and empty labels should be equal")
+	}
+}
+
+func TestLabelFindAndClone(t *testing.T) {
+	l := Label{{1, 2, false}, {2, 3, true}}
+	if tr, ok := l.Find(2, 3); !ok || !tr.Multi {
+		t.Fatalf("Find(2,3) = %v %v", tr, ok)
+	}
+	if _, ok := l.Find(9, 9); ok {
+		t.Fatalf("Find should miss")
+	}
+	c := l.Clone()
+	c[0].Class = 42
+	if l[0].Class != 1 {
+		t.Fatalf("clone mutation leaked")
+	}
+	var nilLabel Label
+	if nilLabel.Clone() != nil {
+		t.Fatalf("clone of nil should be nil")
+	}
+}
+
+func TestListAccessors(t *testing.T) {
+	term := List{Terminate: true}
+	if term.NumClasses() != 0 || term.String() != "[terminate]" {
+		t.Fatalf("terminate list accessors wrong: %d %q", term.NumClasses(), term.String())
+	}
+	l := List{Entries: []ListEntry{
+		{OldClass: 1, Label: nil},
+		{OldClass: 1, Label: Label{{1, 2, false}}},
+	}}
+	if l.NumClasses() != 2 {
+		t.Fatalf("NumClasses = %d", l.NumClasses())
+	}
+	s := l.String()
+	if !strings.Contains(s, "1:(1,null)") || !strings.Contains(s, "2:(1,(1,2,1))") {
+		t.Fatalf("list string: %q", s)
+	}
+}

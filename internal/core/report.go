@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"anonradio/internal/config"
+)
+
+// Summary renders a human-readable multi-line account of the Classifier run:
+// the verdict, the evolution of the partition and, for feasible
+// configurations, the designated leader. It is used by cmd/classify.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "configuration: %s\n", r.Config.String())
+	fmt.Fprintf(&sb, "decision:      %s\n", r.Decision)
+	fmt.Fprintf(&sb, "iterations:    %d\n", r.Iterations())
+	if r.Feasible() {
+		fmt.Fprintf(&sb, "leader:        node %d (class %d)\n", r.Leader, r.LeaderClass)
+	}
+	for j, snap := range r.Snapshots {
+		fmt.Fprintf(&sb, "after iteration %d: %d classes, sizes %v\n", j, snap.NumClasses, snap.ClassSizes())
+		fmt.Fprintf(&sb, "  classes: %v\n", snap.Classes)
+	}
+	for j, list := range r.Lists {
+		fmt.Fprintf(&sb, "L_%d = %s\n", j+1, list.String())
+	}
+	fmt.Fprintf(&sb, "stats: %d triple insertions, %d triple comparisons, %d label comparisons\n",
+		r.Stats.TripleInsertions, r.Stats.TripleComparisons, r.Stats.LabelComparisons)
+	return sb.String()
+}
+
+// PartitionAfter returns, for iteration j, the nodes grouped by equivalence
+// class: element k-1 of the result lists the nodes in class k, sorted.
+func (r *Report) PartitionAfter(j int) [][]int {
+	snap := r.Snapshots[j]
+	groups := make([][]int, snap.NumClasses)
+	for v, c := range snap.Classes {
+		groups[c-1] = append(groups[c-1], v)
+	}
+	return groups
+}
+
+// SameClass reports whether nodes v and w are in the same equivalence class
+// after iteration j.
+func (r *Report) SameClass(j, v, w int) bool {
+	return r.Snapshots[j].Classes[v] == r.Snapshots[j].Classes[w]
+}
+
+// IsFeasible is a convenience wrapper: it classifies cfg and returns only the
+// verdict.
+func IsFeasible(cfg *config.Config) (bool, error) {
+	rep, err := Classify(cfg)
+	if err != nil {
+		return false, err
+	}
+	return rep.Feasible(), nil
+}

@@ -1,0 +1,102 @@
+package drip
+
+import (
+	"fmt"
+
+	"anonradio/internal/history"
+)
+
+// Patient wraps an arbitrary protocol into a patient DRIP following the
+// construction in the proof of Lemma 3.12.
+//
+// A patient DRIP never transmits in global rounds 0..σ, which guarantees
+// that every node wakes up spontaneously in the round given by its tag. The
+// wrapped protocol behaves as follows at a node w: it listens for the first
+// s_w = min(σ, rcv_w) local rounds, where rcv_w is the first local round in
+// which w receives a message, and from local round s_w+1 on it executes the
+// inner protocol on the history suffix starting at round s_w (simulating a
+// forced wake-up if a message arrived during the listening prefix).
+type Patient struct {
+	// Span is σ, the span of the configuration the protocol will run on.
+	Span int
+	// Inner is the wrapped protocol D.
+	Inner Protocol
+}
+
+// NewPatient returns the patient version of inner for span σ. It panics if
+// span is negative or inner is nil.
+func NewPatient(span int, inner Protocol) *Patient {
+	if span < 0 {
+		panic(fmt.Sprintf("drip: negative span %d", span))
+	}
+	if inner == nil {
+		panic("drip: nil inner protocol")
+	}
+	return &Patient{Span: span, Inner: inner}
+}
+
+// startIndex returns s_w = min(σ, rcv_w) as determined by the history so
+// far: the first local round carrying a received message, capped at σ.
+func (p *Patient) startIndex(h history.Vector) int {
+	for k, e := range h {
+		if k > p.Span {
+			break
+		}
+		if e.Kind == history.Message {
+			return k
+		}
+	}
+	return p.Span
+}
+
+// Act implements Protocol.
+func (p *Patient) Act(h history.Vector) Action {
+	s := p.startIndex(h)
+	if len(h) <= s {
+		// Local rounds 1..s_w: the initial listening period.
+		return ListenAction()
+	}
+	return p.Inner.Act(h[s:])
+}
+
+// PatientDecision wraps a decision function f for the inner protocol into the
+// decision function f_pat of Lemma 3.12: it evaluates f on the history suffix
+// starting at s_w.
+type PatientDecision struct {
+	// Span is σ, matching the Patient protocol wrapper.
+	Span int
+	// Inner is the wrapped decision function f.
+	Inner Decision
+}
+
+// Decide implements Decision.
+func (d PatientDecision) Decide(h history.Vector) int {
+	s := d.Span
+	for k, e := range h {
+		if k > d.Span {
+			break
+		}
+		if e.Kind == history.Message {
+			s = k
+			break
+		}
+	}
+	if s >= len(h) {
+		// The node terminated before the listening period ended; the inner
+		// decision sees an empty history. This cannot happen for histories
+		// produced by the Patient wrapper but keeps Decide total.
+		return d.Inner.Decide(nil)
+	}
+	return d.Inner.Decide(h[s:])
+}
+
+// MakePatient converts a complete dedicated algorithm into its patient
+// counterpart for the given span, wrapping both the protocol and the
+// decision function.
+func MakePatient(span int, alg Algorithm) Algorithm {
+	return Algorithm{
+		Protocol: NewPatient(span, alg.Protocol),
+		Decision: PatientDecision{Span: span, Inner: alg.Decision},
+		Name:     alg.Name + "-patient",
+	}
+}

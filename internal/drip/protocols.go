@@ -1,0 +1,116 @@
+package drip
+
+import (
+	"fmt"
+
+	"anonradio/internal/history"
+)
+
+// This file provides small reference protocols. They are used by the unit
+// tests of the simulator, by the impossibility replays of Section 4 (which
+// quantify over "any protocol whose first transmission happens in round t"),
+// and as building blocks for the baselines.
+
+// SilentTerminator is a protocol that terminates in its first local round
+// without ever transmitting. No configuration with more than one node can
+// elect a leader with it, which makes it the canonical "useless" protocol for
+// negative tests.
+type SilentTerminator struct{}
+
+// Act implements Protocol.
+func (SilentTerminator) Act(h history.Vector) Action { return TerminateAction() }
+
+// BeepAt is a protocol in which a node that woke up spontaneously transmits
+// the message Msg exactly once, in local round Round, and terminates in local
+// round StopAfter; a node that was woken up by a message never transmits and
+// terminates at the same local round. It is the generic shape of the
+// adversary protocols used in the proofs of Propositions 4.4 and 4.5: the
+// only free parameter that matters is the round of the first transmission.
+type BeepAt struct {
+	// Round is the local round (>= 1) of the single transmission.
+	Round int
+	// StopAfter is the local round in which the node terminates (> Round).
+	StopAfter int
+	// Msg is the transmitted message; defaults to "1" if empty.
+	Msg string
+}
+
+// Act implements Protocol.
+func (b BeepAt) Act(h history.Vector) Action {
+	i := len(h) // current local round
+	msg := b.Msg
+	if msg == "" {
+		msg = "1"
+	}
+	if i >= b.StopAfter {
+		return TerminateAction()
+	}
+	if h[0].Kind == history.Message {
+		// Forced wake-up: stay silent.
+		return ListenAction()
+	}
+	if i == b.Round {
+		return TransmitAction(msg)
+	}
+	return ListenAction()
+}
+
+// Validate checks the parameters of BeepAt.
+func (b BeepAt) Validate() error {
+	if b.Round < 1 {
+		return fmt.Errorf("drip: BeepAt round %d < 1", b.Round)
+	}
+	if b.StopAfter <= b.Round {
+		return fmt.Errorf("drip: BeepAt stop %d must exceed round %d", b.StopAfter, b.Round)
+	}
+	return nil
+}
+
+// WakeupFlood is a simple wake-up wave: a node that woke up spontaneously
+// transmits "w" in its local round Delay+1 and then terminates after
+// Quiet further rounds; a node woken by a message retransmits "w" in its
+// first local round and terminates likewise. It is used to exercise forced
+// wake-ups and collision behaviour in the simulator tests.
+type WakeupFlood struct {
+	// Delay is the number of rounds a spontaneously-woken node listens
+	// before transmitting (>= 0).
+	Delay int
+	// Quiet is the number of rounds a node keeps listening after its
+	// transmission before terminating (>= 0).
+	Quiet int
+}
+
+// Act implements Protocol.
+func (w WakeupFlood) Act(h history.Vector) Action {
+	i := len(h)
+	transmitRound := w.Delay + 1
+	if h[0].Kind == history.Message {
+		transmitRound = 1
+	}
+	switch {
+	case i < transmitRound:
+		return ListenAction()
+	case i == transmitRound:
+		return TransmitAction("w")
+	case i <= transmitRound+w.Quiet:
+		return ListenAction()
+	default:
+		return TerminateAction()
+	}
+}
+
+// ListenForever is a protocol that listens for Rounds local rounds and then
+// terminates. It never transmits. It is useful for observing the environment
+// in tests.
+type ListenForever struct {
+	// Rounds is the number of listening rounds before termination.
+	Rounds int
+}
+
+// Act implements Protocol.
+func (l ListenForever) Act(h history.Vector) Action {
+	if len(h) > l.Rounds {
+		return TerminateAction()
+	}
+	return ListenAction()
+}

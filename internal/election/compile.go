@@ -1,0 +1,110 @@
+package election
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"anonradio/internal/canonical"
+	"anonradio/internal/config"
+	"anonradio/internal/drip"
+	"anonradio/internal/history"
+)
+
+// This file provides a serializable form of a complete dedicated leader
+// election algorithm (protocol blueprint + decision function data), mirroring
+// the paper's deployment story: the algorithm is computed centrally from the
+// configuration and then installed on the anonymous nodes. cmd/compile
+// writes compiled algorithms to disk; cmd/elect can execute them later
+// without re-running the Classifier.
+
+// Compiled is the JSON-serializable form of a Dedicated algorithm.
+type Compiled struct {
+	// ConfigName records which configuration the algorithm was built for
+	// (informational only).
+	ConfigName string `json:"config_name"`
+	// Blueprint is the canonical DRIP description (σ and the lists L_j).
+	Blueprint canonical.Blueprint `json:"blueprint"`
+	// LeaderHistory is the designated leader's complete history; the decision
+	// function elects exactly the node whose history matches it.
+	LeaderHistory history.Vector `json:"leader_history"`
+	// ExpectedLeader is the node index the algorithm designates on the
+	// original configuration.
+	ExpectedLeader int `json:"expected_leader"`
+	// LocalRounds is the local round in which every node terminates.
+	LocalRounds int `json:"local_rounds"`
+	// RoundBound is the global-round upper bound of the election.
+	RoundBound int `json:"round_bound"`
+}
+
+// Compile returns the serializable form of the dedicated algorithm.
+func (d *Dedicated) Compile() *Compiled {
+	match := d.Algorithm.Decision.(drip.HistoryMatchDecision)
+	return &Compiled{
+		ConfigName:     d.Config.Name,
+		Blueprint:      d.DRIP.Blueprint(),
+		LeaderHistory:  match.Target.Clone(),
+		ExpectedLeader: d.ExpectedLeader,
+		LocalRounds:    d.LocalRounds,
+		RoundBound:     d.RoundBound,
+	}
+}
+
+// MarshalJSON is provided so a *Dedicated can be written directly.
+func (d *Dedicated) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.Compile())
+}
+
+// Load rebuilds an executable dedicated algorithm from its compiled form and
+// the configuration it is meant to run on. The configuration is required
+// because the compiled artifact intentionally contains only what the
+// anonymous nodes need (protocol + decision data), not the network itself.
+// Load re-checks that the artifact matches the configuration: the spans must
+// agree and the designated leader must exist.
+func Load(c *Compiled, cfg *config.Config) (*Dedicated, error) {
+	if c == nil {
+		return nil, fmt.Errorf("election: nil compiled algorithm")
+	}
+	if cfg == nil {
+		return nil, fmt.Errorf("election: nil configuration")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("election: invalid configuration: %w", err)
+	}
+	cfg = cfg.Normalized()
+	dg, err := canonical.FromLists(c.Blueprint.Sigma, c.Blueprint.Lists)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Span() != c.Blueprint.Sigma {
+		return nil, fmt.Errorf("election: compiled algorithm was built for span %d but the configuration has span %d",
+			c.Blueprint.Sigma, cfg.Span())
+	}
+	if c.ExpectedLeader < 0 || c.ExpectedLeader >= cfg.N() {
+		return nil, fmt.Errorf("election: designated leader %d out of range for %d nodes", c.ExpectedLeader, cfg.N())
+	}
+	if len(c.LeaderHistory) == 0 {
+		return nil, fmt.Errorf("election: compiled algorithm has an empty leader history")
+	}
+	return &Dedicated{
+		Config: cfg,
+		Report: nil,
+		DRIP:   dg,
+		Algorithm: drip.Algorithm{
+			Name:     "compiled-" + c.ConfigName,
+			Protocol: dg,
+			Decision: drip.HistoryMatchDecision{Target: c.LeaderHistory.Clone()},
+		},
+		ExpectedLeader: c.ExpectedLeader,
+		LocalRounds:    c.LocalRounds,
+		RoundBound:     c.RoundBound,
+	}, nil
+}
+
+// UnmarshalCompiled decodes a compiled algorithm from JSON.
+func UnmarshalCompiled(data []byte) (*Compiled, error) {
+	var c Compiled
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("election: decoding compiled algorithm: %w", err)
+	}
+	return &c, nil
+}

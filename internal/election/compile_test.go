@@ -1,0 +1,96 @@
+package election
+
+import (
+	"encoding/json"
+	"testing"
+
+	"anonradio/internal/config"
+	"anonradio/internal/radio"
+)
+
+func TestCompileLoadRoundTrip(t *testing.T) {
+	cases := []*config.Config{
+		config.SpanFamilyH(2),
+		config.LineFamilyG(2),
+		config.StaggeredClique(5),
+		config.EarlyCenterStar(5, 2),
+	}
+	for _, cfg := range cases {
+		d := buildDedicated(t, cfg)
+		data, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", cfg, err)
+		}
+		compiled, err := UnmarshalCompiled(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", cfg, err)
+		}
+		loaded, err := Load(compiled, cfg)
+		if err != nil {
+			t.Fatalf("%s: load: %v", cfg, err)
+		}
+		out, err := loaded.Elect(radio.Sequential{}, radio.Options{})
+		if err != nil {
+			t.Fatalf("%s: elect: %v", cfg, err)
+		}
+		if err := loaded.Verify(out); err != nil {
+			t.Fatalf("%s: verify: %v", cfg, err)
+		}
+		if out.Leader() != d.ExpectedLeader {
+			t.Fatalf("%s: loaded algorithm elected %d, original designated %d", cfg, out.Leader(), d.ExpectedLeader)
+		}
+		// Loaded algorithms carry no classifier report, so the correspondence
+		// check must refuse gracefully rather than panic.
+		if err := loaded.VerifyCorrespondence(out.Result); err == nil {
+			t.Fatalf("%s: correspondence check should refuse without a report", cfg)
+		}
+	}
+}
+
+func TestCompileFields(t *testing.T) {
+	d := buildDedicated(t, config.SpanFamilyH(3))
+	c := d.Compile()
+	if c.ConfigName != "H_3" || c.ExpectedLeader != d.ExpectedLeader {
+		t.Fatalf("compiled metadata wrong: %+v", c)
+	}
+	if c.Blueprint.Sigma != d.Config.Span() || len(c.Blueprint.Lists) != d.DRIP.Phases() {
+		t.Fatalf("compiled blueprint wrong: %+v", c.Blueprint)
+	}
+	if len(c.LeaderHistory) != d.LocalRounds+1 {
+		t.Fatalf("leader history length %d, want %d", len(c.LeaderHistory), d.LocalRounds+1)
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	d := buildDedicated(t, config.SpanFamilyH(2))
+	c := d.Compile()
+
+	if _, err := Load(nil, config.SpanFamilyH(2)); err == nil {
+		t.Fatalf("nil compiled should be rejected")
+	}
+	if _, err := Load(c, nil); err == nil {
+		t.Fatalf("nil configuration should be rejected")
+	}
+	// Span mismatch: H_3 has span 4, the algorithm was built for span 3.
+	if _, err := Load(c, config.SpanFamilyH(3)); err == nil {
+		t.Fatalf("span mismatch should be rejected")
+	}
+	// Leader index out of range for a smaller configuration of equal span.
+	small := c
+	smallCopy := *small
+	smallCopy.ExpectedLeader = 9
+	if _, err := Load(&smallCopy, config.SpanFamilyH(2)); err == nil {
+		t.Fatalf("out-of-range leader should be rejected")
+	}
+	empty := *c
+	empty.LeaderHistory = nil
+	if _, err := Load(&empty, config.SpanFamilyH(2)); err == nil {
+		t.Fatalf("empty leader history should be rejected")
+	}
+}
+
+func TestUnmarshalCompiledErrors(t *testing.T) {
+	if _, err := UnmarshalCompiled([]byte("nonsense")); err == nil {
+		t.Fatalf("invalid JSON should error")
+	}
+}

@@ -1,0 +1,170 @@
+// Package election assembles the end-to-end dedicated leader election
+// pipeline of the paper: classify a configuration (Section 3), derive the
+// canonical DRIP and its decision function (Section 3.3.1, Lemma 3.11),
+// execute it on the radio simulator, and verify the outcome. It also
+// provides executable replays of the paper's impossibility arguments
+// (Propositions 4.4 and 4.5).
+package election
+
+import (
+	"errors"
+	"fmt"
+
+	"anonradio/internal/canonical"
+	"anonradio/internal/config"
+	"anonradio/internal/core"
+	"anonradio/internal/drip"
+	"anonradio/internal/radio"
+)
+
+// ErrInfeasible is returned by BuildDedicated when the configuration admits
+// no leader election algorithm.
+var ErrInfeasible = errors.New("election: configuration is infeasible")
+
+// Dedicated is a dedicated leader election algorithm (D_G, f_G) for one
+// specific feasible configuration, together with the artifacts it was built
+// from.
+type Dedicated struct {
+	// Config is the (normalized) configuration the algorithm is dedicated to.
+	Config *config.Config
+	// Report is the Classifier report.
+	Report *core.Report
+	// DRIP is the canonical protocol D_G.
+	DRIP *canonical.DRIP
+	// Algorithm bundles the protocol with the decision function f_G.
+	Algorithm drip.Algorithm
+	// ExpectedLeader is the node the decision function designates.
+	ExpectedLeader int
+	// LocalRounds is the local round in which every node terminates.
+	LocalRounds int
+	// RoundBound is an upper bound on the number of global rounds of the
+	// whole election: every node is awake by round σ and terminates
+	// LocalRounds rounds later.
+	RoundBound int
+}
+
+// BuildDedicated classifies cfg and, if it is feasible, constructs the
+// dedicated leader election algorithm for it. The decision function is the
+// history-match function of Lemma 3.11: it elects exactly the node whose
+// complete history equals the designated leader's history in the canonical
+// execution, which is computed here with the sequential reference engine.
+func BuildDedicated(cfg *config.Config) (*Dedicated, error) {
+	report, err := core.Classify(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return buildFromReport(report)
+}
+
+// BuildFromReport constructs the dedicated algorithm from an existing
+// Classifier report (avoiding a second classification).
+func BuildFromReport(report *core.Report) (*Dedicated, error) {
+	if report == nil {
+		return nil, fmt.Errorf("election: nil report")
+	}
+	return buildFromReport(report)
+}
+
+func buildFromReport(report *core.Report) (*Dedicated, error) {
+	if !report.Feasible() {
+		return nil, fmt.Errorf("%w: %s", ErrInfeasible, report.Config)
+	}
+	dg, err := canonical.New(report)
+	if err != nil {
+		return nil, err
+	}
+	cfg := report.Config
+
+	// Determine the designated leader's complete history by simulating the
+	// canonical DRIP on the configuration with the reference engine.
+	res, err := radio.Sequential{}.Run(cfg, dg, radio.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("election: canonical DRIP simulation failed: %w", err)
+	}
+	leader := report.Leader
+	target := res.Histories[leader].Clone()
+
+	// Sanity check (Lemma 3.11): the designated leader's history must be
+	// unique among all nodes.
+	for v := 0; v < cfg.N(); v++ {
+		if v != leader && res.Histories[v].Equal(target) {
+			return nil, fmt.Errorf("election: node %d shares the designated leader's history; classifier/DRIP mismatch", v)
+		}
+	}
+
+	d := &Dedicated{
+		Config: cfg,
+		Report: report,
+		DRIP:   dg,
+		Algorithm: drip.Algorithm{
+			Name:     "canonical-" + cfg.Name,
+			Protocol: dg,
+			Decision: drip.HistoryMatchDecision{Target: target},
+		},
+		ExpectedLeader: leader,
+		LocalRounds:    dg.TerminationRound(),
+		RoundBound:     cfg.Span() + dg.TerminationRound() + 1,
+	}
+	return d, nil
+}
+
+// Elect executes the dedicated algorithm on its configuration with the given
+// engine and returns the outcome.
+func (d *Dedicated) Elect(engine radio.Engine, opts radio.Options) (*radio.ElectionOutcome, error) {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = d.RoundBound + 1
+	}
+	return radio.RunElection(engine, d.Config, d.Algorithm, opts)
+}
+
+// Verify checks that an election outcome is correct for this dedicated
+// algorithm: exactly one leader, equal to the expected one, within the round
+// bound.
+func (d *Dedicated) Verify(out *radio.ElectionOutcome) error {
+	if out == nil {
+		return fmt.Errorf("election: nil outcome")
+	}
+	if !out.Elected() {
+		return fmt.Errorf("election: expected exactly one leader, got %v", out.Leaders)
+	}
+	if out.Leader() != d.ExpectedLeader {
+		return fmt.Errorf("election: elected node %d, expected %d", out.Leader(), d.ExpectedLeader)
+	}
+	if out.Rounds > d.RoundBound {
+		return fmt.Errorf("election: took %d rounds, bound is %d", out.Rounds, d.RoundBound)
+	}
+	return nil
+}
+
+// VerifyCorrespondence checks the executable content of Lemma 3.9 on a
+// simulation result of the canonical DRIP: for every iteration j >= 1 and
+// every pair of nodes, the nodes are in the same equivalence class after
+// iteration j-1 of the Classifier (class index vCLASS,j) if and only if
+// their histories agree up to local round r_{j-1}.
+func (d *Dedicated) VerifyCorrespondence(res *radio.Result) error {
+	if d.Report == nil {
+		return fmt.Errorf("election: no classifier report attached (algorithm loaded from a compiled artifact)")
+	}
+	n := d.Config.N()
+	for j := 1; j <= d.DRIP.Phases(); j++ {
+		snap := d.Report.Snapshots[j-1]
+		upTo := d.DRIP.PhaseEnd(j - 1)
+		for v := 0; v < n; v++ {
+			for w := v + 1; w < n; w++ {
+				sameClass := snap.Classes[v] == snap.Classes[w]
+				sameHist := res.Histories[v].EqualPrefix(res.Histories[w], upTo)
+				if sameClass != sameHist {
+					return fmt.Errorf("election: Lemma 3.9 violated at j=%d nodes %d,%d: sameClass=%v sameHistory=%v",
+						j, v, w, sameClass, sameHist)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Feasible classifies cfg and reports whether it is feasible; it is a thin
+// convenience wrapper used by the examples and the harness.
+func Feasible(cfg *config.Config) (bool, error) {
+	return core.IsFeasible(cfg)
+}

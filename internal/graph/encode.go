@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file contains the textual codec for graphs. The format is a simple
+// line-oriented edge list:
+//
+//	# comment
+//	nodes <n>
+//	edge <u> <v>
+//	...
+//
+// and a DOT export for visualization with external tools.
+
+// Encode writes g in the edge-list format to w.
+func (g *Graph) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "nodes %d\n", g.n); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "edge %d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Marshal returns the edge-list encoding of g as a string.
+func (g *Graph) Marshal() string {
+	var sb strings.Builder
+	// Encode on a strings.Builder never fails.
+	_ = g.Encode(&sb)
+	return sb.String()
+}
+
+// Read parses a graph in the edge-list format from r.
+func Read(r io.Reader) (*Graph, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Graph
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "nodes":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate nodes declaration", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: nodes takes exactly one argument", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: invalid node count %q", line, fields[1])
+			}
+			g = New(n)
+		case "edge":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before nodes declaration", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: edge takes exactly two arguments", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: invalid edge endpoints %q %q", line, fields[1], fields[2])
+			}
+			if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+				return nil, fmt.Errorf("graph: line %d: edge %d-%d out of range or self-loop", line, u, v)
+			}
+			g.AddEdge(u, v)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing nodes declaration")
+	}
+	return g, nil
+}
+
+// Unmarshal parses a graph from its edge-list string encoding.
+func Unmarshal(s string) (*Graph, error) {
+	return Read(strings.NewReader(s))
+}
+
+// DOT returns a Graphviz DOT representation of g with the given graph name.
+func (g *Graph) DOT(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %s {\n", sanitizeDOTName(name))
+	for v := 0; v < g.n; v++ {
+		fmt.Fprintf(&sb, "  n%d;\n", v)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  n%d -- n%d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func sanitizeDOTName(name string) string {
+	if name == "" {
+		return "G"
+	}
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,215 @@
+package graph
+
+import "fmt"
+
+// This file contains deterministic graph generators for the standard
+// topologies used throughout the experiments: paths, cycles, stars, complete
+// graphs, complete bipartite graphs, grids, tori, hypercubes, binary trees,
+// caterpillars and barbells. All generators return connected graphs (for
+// positive sizes) and are fully deterministic.
+
+// Path returns the path graph P_n on n nodes: 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph C_n on n >= 3 nodes. It panics for n < 3.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle requires n >= 3, got %d", n))
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+// Star returns the star graph on n nodes with node 0 as the centre.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns the complete bipartite graph K_{a,b} with parts
+// {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			g.AddEdge(u, a+v)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows×cols grid graph. Node (r,c) has index r*cols+c.
+func Grid(rows, cols int) *Graph {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("graph: negative grid dimensions %dx%d", rows, cols))
+	}
+	g := New(rows * cols)
+	idx := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(idx(r, c), idx(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(idx(r, c), idx(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows×cols torus (grid with wrap-around edges). Both
+// dimensions must be at least 3 so that the wrap edges do not duplicate grid
+// edges or create self-loops.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graph: torus requires dimensions >= 3, got %dx%d", rows, cols))
+	}
+	g := Grid(rows, cols)
+	idx := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		g.AddEdge(idx(r, cols-1), idx(r, 0))
+	}
+	for c := 0; c < cols; c++ {
+		g.AddEdge(idx(rows-1, c), idx(0, c))
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d nodes, where nodes
+// u and v are adjacent iff their indices differ in exactly one bit.
+func Hypercube(d int) *Graph {
+	if d < 0 || d > 30 {
+		panic(fmt.Sprintf("graph: hypercube dimension %d out of range [0,30]", d))
+	}
+	n := 1 << uint(d)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << uint(b))
+			if u < v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns a complete binary tree with n nodes, where node
+// v has children 2v+1 and 2v+2 when those indices are below n.
+func CompleteBinaryTree(n int) *Graph {
+	g := New(n)
+	for v := 0; v < n; v++ {
+		l, r := 2*v+1, 2*v+2
+		if l < n {
+			g.AddEdge(v, l)
+		}
+		if r < n {
+			g.AddEdge(v, r)
+		}
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of length spine with
+// legs pendant nodes attached to every spine node. The total node count is
+// spine*(1+legs).
+func Caterpillar(spine, legs int) *Graph {
+	if spine < 1 || legs < 0 {
+		panic(fmt.Sprintf("graph: invalid caterpillar parameters spine=%d legs=%d", spine, legs))
+	}
+	g := New(spine * (1 + legs))
+	for v := 0; v+1 < spine; v++ {
+		g.AddEdge(v, v+1)
+	}
+	next := spine
+	for v := 0; v < spine; v++ {
+		for l := 0; l < legs; l++ {
+			g.AddEdge(v, next)
+			next++
+		}
+	}
+	return g
+}
+
+// Barbell returns the barbell graph: two cliques K_k joined by a path of
+// pathLen intermediate nodes (pathLen may be 0, in which case one node of the
+// first clique is adjacent to one node of the second).
+func Barbell(k, pathLen int) *Graph {
+	if k < 1 || pathLen < 0 {
+		panic(fmt.Sprintf("graph: invalid barbell parameters k=%d pathLen=%d", k, pathLen))
+	}
+	g := New(2*k + pathLen)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			g.AddEdge(u, v)
+			g.AddEdge(k+pathLen+u, k+pathLen+v)
+		}
+	}
+	prev := k - 1
+	for i := 0; i < pathLen; i++ {
+		g.AddEdge(prev, k+i)
+		prev = k + i
+	}
+	g.AddEdge(prev, k+pathLen)
+	return g
+}
+
+// Lollipop returns a clique K_k with a path of pathLen nodes attached to node
+// k-1 of the clique.
+func Lollipop(k, pathLen int) *Graph {
+	if k < 1 || pathLen < 0 {
+		panic(fmt.Sprintf("graph: invalid lollipop parameters k=%d pathLen=%d", k, pathLen))
+	}
+	g := New(k + pathLen)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	prev := k - 1
+	for i := 0; i < pathLen; i++ {
+		g.AddEdge(prev, k+i)
+		prev = k + i
+	}
+	return g
+}
+
+// Wheel returns the wheel graph W_n: a cycle on n-1 nodes (1..n-1) plus a hub
+// node 0 adjacent to every cycle node. Requires n >= 4.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic(fmt.Sprintf("graph: wheel requires n >= 4, got %d", n))
+	}
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+		next := v + 1
+		if next == n {
+			next = 1
+		}
+		g.AddEdge(v, next)
+	}
+	return g
+}

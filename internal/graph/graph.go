@@ -1,0 +1,233 @@
+// Package graph provides the undirected simple-graph substrate used to model
+// the topology of anonymous radio networks.
+//
+// Graphs are node-indexed: nodes are the integers 0..N-1 and edges are
+// unordered pairs of distinct node indices. The package provides
+// construction, adjacency queries, structural properties (degree, maximum
+// degree, connectivity, distances, diameter), traversals, standard
+// generators (paths, cycles, stars, grids, trees, random graphs) and a
+// textual codec.
+//
+// All operations are deterministic: neighbour lists are kept sorted so that
+// iteration order never depends on insertion order. Randomized generators
+// take an explicit *rand.Rand.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph over nodes 0..N-1.
+//
+// The zero value is an empty graph with no nodes. Use New or one of the
+// generators to create a graph with nodes.
+type Graph struct {
+	n   int
+	adj [][]int // adj[v] is the sorted list of neighbours of v
+	m   int     // number of edges
+}
+
+// New returns an edgeless graph with n nodes. It panics if n is negative.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.m = g.m
+	for v := range g.adj {
+		if len(g.adj[v]) > 0 {
+			c.adj[v] = append([]int(nil), g.adj[v]...)
+		}
+	}
+	return c
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// check panics if v is not a valid node index.
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// HasEdge reports whether the edge {u,v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return false
+	}
+	nb := g.adj[u]
+	i := sort.SearchInts(nb, v)
+	return i < len(nb) && nb[i] == v
+}
+
+// AddEdge inserts the undirected edge {u,v}. Self-loops are rejected with a
+// panic; adding an existing edge is a no-op.
+func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.insert(u, v)
+	g.insert(v, u)
+	g.m++
+}
+
+func (g *Graph) insert(u, v int) {
+	nb := g.adj[u]
+	i := sort.SearchInts(nb, v)
+	nb = append(nb, 0)
+	copy(nb[i+1:], nb[i:])
+	nb[i] = v
+	g.adj[u] = nb
+}
+
+// RemoveEdge deletes the undirected edge {u,v} if present and reports whether
+// an edge was removed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	g.erase(u, v)
+	g.erase(v, u)
+	g.m--
+	return true
+}
+
+func (g *Graph) erase(u, v int) {
+	nb := g.adj[u]
+	i := sort.SearchInts(nb, v)
+	g.adj[u] = append(nb[:i], nb[i+1:]...)
+}
+
+// Neighbors returns the sorted neighbour list of v. The returned slice must
+// not be modified by the caller.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	return g.adj[v]
+}
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// MaxDegree returns the maximum degree Δ of the graph (0 for graphs with no
+// nodes or no edges).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum degree of the graph, or 0 if the graph has no
+// nodes.
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := len(g.adj[0])
+	for v := 1; v < g.n; v++ {
+		if d := len(g.adj[v]); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// Edges returns all edges as pairs [2]int{u,v} with u < v, in lexicographic
+// order.
+func (g *Graph) Edges() [][2]int {
+	edges := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+// Equal reports whether g and h have the same node count and the same edge
+// set (as labeled graphs; this is not isomorphism).
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for v := 0; v < g.n; v++ {
+		a, b := g.adj[v], h.adj[v]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String returns a compact human-readable description of g.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d Δ=%d}", g.n, g.m, g.MaxDegree())
+}
+
+// Validate checks internal invariants (sorted adjacency, symmetry, no
+// self-loops, consistent edge count) and returns an error describing the
+// first violation found, or nil.
+func (g *Graph) Validate() error {
+	if g.n < 0 {
+		return fmt.Errorf("graph: negative node count %d", g.n)
+	}
+	if len(g.adj) != g.n {
+		return fmt.Errorf("graph: adjacency length %d != n %d", len(g.adj), g.n)
+	}
+	count := 0
+	for u := 0; u < g.n; u++ {
+		nb := g.adj[u]
+		for i, v := range nb {
+			if v < 0 || v >= g.n {
+				return fmt.Errorf("graph: node %d has out-of-range neighbour %d", u, v)
+			}
+			if v == u {
+				return fmt.Errorf("graph: self-loop at node %d", u)
+			}
+			if i > 0 && nb[i-1] >= v {
+				return fmt.Errorf("graph: adjacency of node %d not strictly sorted", u)
+			}
+			if !g.HasEdge(v, u) {
+				return fmt.Errorf("graph: edge %d-%d not symmetric", u, v)
+			}
+		}
+		count += len(nb)
+	}
+	if count != 2*g.m {
+		return fmt.Errorf("graph: edge count %d inconsistent with adjacency degree sum %d", g.m, count)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Additional structural property tests for the graph substrate.
+
+func TestPropertyHandshakeLemma(t *testing.T) {
+	// The sum of degrees equals twice the number of edges.
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%40) + 1
+		g := RandomConnectedGNP(n, 0.25, rng)
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+		}
+		hist := g.DegreeHistogram()
+		histSum := 0
+		count := 0
+		for d, c := range hist {
+			histSum += d * c
+			count += c
+		}
+		return sum == 2*g.M() && histSum == sum && count == g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("handshake lemma violated: %v", err)
+	}
+}
+
+func TestPropertyRadiusDiameterRelation(t *testing.T) {
+	// For connected graphs: radius <= diameter <= 2 * radius.
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%25) + 1
+		g := RandomConnectedGNP(n, 0.2, rng)
+		r := g.Radius()
+		d := g.Diameter()
+		return r >= 0 && d >= 0 && r <= d && d <= 2*r || (n == 1 && r == 0 && d == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("radius/diameter relation violated: %v", err)
+	}
+}
+
+func TestPropertyEccentricityBounds(t *testing.T) {
+	// Every eccentricity lies between the radius and the diameter, and the
+	// diameter is at most n-1.
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%20) + 2
+		g := RandomConnectedGNP(n, 0.3, rng)
+		r, d := g.Radius(), g.Diameter()
+		if d > n-1 {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			e := g.Eccentricity(v)
+			if e < r || e > d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("eccentricity bounds violated: %v", err)
+	}
+}
+
+func TestPropertyBFSTreeDistances(t *testing.T) {
+	// The BFS tree parent pointers reproduce the BFS distances: every
+	// non-root node is exactly one hop further than its parent, and the
+	// parent edge exists.
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%25) + 1
+		g := RandomConnectedGNP(n, 0.2, rng)
+		src := rng.Intn(n)
+		parent, dist := g.BFSTree(src)
+		ref := g.BFS(src)
+		for v := 0; v < n; v++ {
+			if dist[v] != ref[v] {
+				return false
+			}
+			if v == src {
+				if parent[v] != src {
+					return false
+				}
+				continue
+			}
+			if parent[v] < 0 || !g.HasEdge(parent[v], v) || dist[v] != dist[parent[v]]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("BFS tree property violated: %v", err)
+	}
+}
+
+func TestPropertyEdgesRoundTrip(t *testing.T) {
+	// Rebuilding a graph from its edge list yields an equal graph.
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%30) + 1
+		g := RandomGNP(n, 0.3, rng)
+		h := New(n)
+		for _, e := range g.Edges() {
+			h.AddEdge(e[0], e[1])
+		}
+		return g.Equal(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("edge list round trip violated: %v", err)
+	}
+}
+
+func TestPropertyComponentsPartitionNodes(t *testing.T) {
+	// The connected components partition the node set, and every edge stays
+	// within a single component.
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%30) + 1
+		g := RandomGNP(n, 0.1, rng)
+		comps := g.Components()
+		seen := make(map[int]int)
+		for ci, comp := range comps {
+			for _, v := range comp {
+				if _, dup := seen[v]; dup {
+					return false
+				}
+				seen[v] = ci
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if seen[e[0]] != seen[e[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("components property violated: %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"fmt"
+
+	"anonradio/internal/config"
+	"anonradio/internal/core"
+	"anonradio/internal/wl"
+)
+
+// This file implements E10, a structural comparison experiment that is not a
+// claim of the paper but is enabled by the reproduction: how does the
+// paper's radio-model refinement (the Classifier) relate to classic colour
+// refinement (1-WL) seeded with the wake-up tags? Colour refinement sees the
+// exact multiset of neighbour colours; the radio model collapses collisions
+// into a single noise symbol and cannot hear neighbours that transmit
+// simultaneously with the listener, so its distinguishing power is a priori
+// incomparable. The experiment measures, over random workloads, how often
+// the verdicts and the partitions coincide.
+
+func e10Params(opts Options) (sizes []int, spans []int, trials int) {
+	if opts.Quick {
+		return []int{8, 12}, []int{0, 1, 2}, opts.trials(0, 25)
+	}
+	return []int{8, 16, 32}, []int{0, 1, 2, 4}, opts.trials(200, 25)
+}
+
+// E10Structure compares the Classifier's final partition and feasibility
+// verdict with the stable colouring of colour refinement on the same random
+// configurations.
+func E10Structure(opts Options) (*Table, error) {
+	sizes, spans, trials := e10Params(opts)
+	rng := opts.rng()
+	table := NewTable("E10: radio-model refinement vs colour refinement (1-WL)",
+		"n", "span", "trials", "same verdict", "equal partitions", "WL finer", "radio finer", "incomparable")
+	totalFeasibleWithoutDiscrete := 0
+	for _, n := range sizes {
+		for _, span := range spans {
+			sameVerdict, equal, wlFiner, radioFiner, incomparable := 0, 0, 0, 0, 0
+			for trial := 0; trial < trials; trial++ {
+				cfg := config.Random(n, 4.0/float64(n), config.UniformRandomTags{Span: span}, rng)
+				rep, err := core.Classify(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("E10 n=%d span=%d: %w", n, span, err)
+				}
+				colouring, err := wl.Refine(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("E10 n=%d span=%d: %w", n, span, err)
+				}
+				if rep.Feasible() == colouring.HasDiscreteNode() {
+					sameVerdict++
+				}
+				if rep.Feasible() && !colouring.HasDiscreteNode() {
+					totalFeasibleWithoutDiscrete++
+				}
+				cmp, err := colouring.CompareWith(rep.FinalSnapshot().Classes)
+				if err != nil {
+					return nil, err
+				}
+				switch {
+				case cmp.Equal:
+					equal++
+				case cmp.WLRefines:
+					wlFiner++
+				case cmp.OtherRefines:
+					radioFiner++
+				default:
+					incomparable++
+				}
+			}
+			table.AddRow(
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", span),
+				fmt.Sprintf("%d", trials),
+				fmt.Sprintf("%d", sameVerdict),
+				fmt.Sprintf("%d", equal),
+				fmt.Sprintf("%d", wlFiner),
+				fmt.Sprintf("%d", radioFiner),
+				fmt.Sprintf("%d", incomparable),
+			)
+		}
+	}
+	table.AddNote("'WL finer' counts runs where colour refinement strictly refines the radio partition; 'radio finer' the opposite; feasible configurations without a WL-discrete node: %d", totalFeasibleWithoutDiscrete)
+	table.AddNote("colour refinement is only a structural heuristic here: unlike the Classifier it is not a feasibility characterization for the radio model")
+	return table, nil
+}

@@ -1,0 +1,76 @@
+package radio
+
+import (
+	"fmt"
+
+	"anonradio/internal/history"
+)
+
+// Metrics summarizes an execution quantitatively: how much the radio medium
+// was used, how much of it was lost to collisions, and how the load was
+// distributed over nodes. They back the inspect tool and the ablation
+// benchmarks.
+type Metrics struct {
+	// GlobalRounds is the number of simulated global rounds.
+	GlobalRounds int
+	// Transmissions is the total number of transmissions.
+	Transmissions int
+	// PerNodeTransmissions[v] is the number of transmissions by node v.
+	PerNodeTransmissions []int
+	// MessagesHeard is the total number of successfully received messages
+	// (history entries of kind Message).
+	MessagesHeard int
+	// CollisionsHeard is the total number of noise entries observed by
+	// listening nodes.
+	CollisionsHeard int
+	// BusyRounds is the number of global rounds with at least one
+	// transmission.
+	BusyRounds int
+	// ForcedWakeups is the number of nodes woken up by a message.
+	ForcedWakeups int
+	// MaxLocalRounds is the largest per-node termination round.
+	MaxLocalRounds int
+}
+
+// ComputeMetrics derives execution metrics from a simulation result. The
+// result must have been produced with Options.RecordTrace enabled, because a
+// node's own transmissions are not visible in its history (it records
+// silence while transmitting).
+func ComputeMetrics(res *Result) (*Metrics, error) {
+	if res == nil {
+		return nil, fmt.Errorf("radio: nil result")
+	}
+	if res.Trace == nil {
+		return nil, fmt.Errorf("radio: metrics require a recorded trace (set Options.RecordTrace)")
+	}
+	m := &Metrics{
+		GlobalRounds:         res.GlobalRounds,
+		PerNodeTransmissions: make([]int, len(res.Histories)),
+	}
+	for _, rec := range res.Trace.Rounds {
+		if len(rec.Transmitters) > 0 {
+			m.BusyRounds++
+		}
+		m.Transmissions += len(rec.Transmitters)
+		for _, v := range rec.Transmitters {
+			m.PerNodeTransmissions[v]++
+		}
+	}
+	for v, h := range res.Histories {
+		m.MessagesHeard += h.CountKind(history.Message)
+		m.CollisionsHeard += h.CountKind(history.Noise)
+		if res.Forced[v] {
+			m.ForcedWakeups++
+		}
+		if res.DoneLocal[v] > m.MaxLocalRounds {
+			m.MaxLocalRounds = res.DoneLocal[v]
+		}
+	}
+	return m, nil
+}
+
+// String renders the metrics compactly.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("rounds=%d busy=%d tx=%d heard=%d collisions=%d forcedWakeups=%d maxLocal=%d",
+		m.GlobalRounds, m.BusyRounds, m.Transmissions, m.MessagesHeard, m.CollisionsHeard, m.ForcedWakeups, m.MaxLocalRounds)
+}

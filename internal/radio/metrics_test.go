@@ -1,0 +1,90 @@
+package radio
+
+import (
+	"strings"
+	"testing"
+
+	"anonradio/internal/config"
+	"anonradio/internal/drip"
+	"anonradio/internal/graph"
+)
+
+func TestComputeMetricsRequiresTrace(t *testing.T) {
+	if _, err := ComputeMetrics(nil); err == nil {
+		t.Fatalf("nil result should error")
+	}
+	res, err := Sequential{}.Run(config.SingleNode(), drip.SilentTerminator{}, Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if _, err := ComputeMetrics(res); err == nil {
+		t.Fatalf("missing trace should error")
+	}
+}
+
+func TestComputeMetricsStarFlood(t *testing.T) {
+	// Early centre star: the centre transmits once and wakes all leaves by
+	// force; the leaves terminate without transmitting.
+	cfg := config.EarlyCenterStar(5, 3)
+	res, err := Sequential{}.Run(cfg, drip.BeepAt{Round: 1, StopAfter: 3}, Options{RecordTrace: true})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	m, err := ComputeMetrics(res)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if m.Transmissions != 1 || m.PerNodeTransmissions[0] != 1 {
+		t.Fatalf("expected exactly one transmission by the centre: %+v", m)
+	}
+	if m.MessagesHeard != 4 {
+		t.Fatalf("all four leaves should have heard the message: %+v", m)
+	}
+	if m.ForcedWakeups != 4 {
+		t.Fatalf("all four leaves should have been force-woken: %+v", m)
+	}
+	if m.CollisionsHeard != 0 {
+		t.Fatalf("no collisions expected: %+v", m)
+	}
+	if m.BusyRounds != 1 {
+		t.Fatalf("exactly one busy round expected: %+v", m)
+	}
+	if m.GlobalRounds != res.GlobalRounds || m.MaxLocalRounds <= 0 {
+		t.Fatalf("round bookkeeping wrong: %+v", m)
+	}
+	if !strings.Contains(m.String(), "tx=1") {
+		t.Fatalf("metrics string: %q", m.String())
+	}
+}
+
+func TestComputeMetricsCollisions(t *testing.T) {
+	// Star whose centre wakes later: all three leaves transmit in the same
+	// round, so the centre observes a collision in its wake-up round.
+	star := config.MustNew(graph.Star(4), []int{1, 0, 0, 0})
+	res, err := Sequential{}.Run(star, drip.BeepAt{Round: 1, StopAfter: 2}, Options{RecordTrace: true})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	m, err := ComputeMetrics(res)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	// Three leaf transmissions in round 1 plus the centre's own transmission
+	// after it wakes up.
+	if m.Transmissions != 4 || m.PerNodeTransmissions[0] != 1 {
+		t.Fatalf("expected 3 leaf + 1 centre transmissions: %+v", m)
+	}
+	if m.CollisionsHeard != 1 {
+		t.Fatalf("the centre should have observed exactly one collision: %+v", m)
+	}
+	if m.ForcedWakeups != 0 {
+		t.Fatalf("a collision must not count as a forced wake-up: %+v", m)
+	}
+	// The centre transmits once after it wakes up; the leaves never hear it
+	// because they terminate first... they terminate at local round 2, which
+	// is global round 2, the same round the centre transmits, so nothing is
+	// received.
+	if m.MessagesHeard != 0 {
+		t.Fatalf("no successful receptions expected: %+v", m)
+	}
+}

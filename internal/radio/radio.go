@@ -1,0 +1,171 @@
+// Package radio implements the synchronous radio-network model of the paper
+// (Section 1.1) and executes DRIPs on configurations.
+//
+// The model: nodes communicate in synchronous global rounds. In each round an
+// awake node either transmits a message to all of its neighbours or listens.
+// A listening node v hears a message from neighbour w iff w is the only
+// neighbour of v transmitting in that round; if two or more neighbours
+// transmit, v hears noise (collision detection); otherwise v hears silence.
+// A transmitting node hears nothing (records silence). A node wakes up
+// spontaneously in the global round given by its wake-up tag, or earlier if
+// it receives a message while asleep (a forced wake-up); local round 0 is the
+// wake-up round and the node starts executing its protocol in local round 1.
+//
+// Corner cases not fixed by the paper (they never occur for the patient
+// protocols the paper analyses) are resolved as follows and covered by tests:
+//
+//   - a sleeping node at which a collision occurs does not wake up (waking
+//     requires receiving a message);
+//   - a node that wakes up spontaneously in a round where exactly one
+//     neighbour transmits records that message as H[0] (the paper's
+//     definition classifies this as a forced wake-up since r <= t_v);
+//   - a node that wakes up spontaneously in a round where two or more
+//     neighbours transmit records noise as H[0];
+//   - the history entry of the termination round is silence.
+//
+// Two engines are provided: Sequential (deterministic, single-threaded) and
+// Concurrent (one goroutine per node with a barrier-synchronized coordinator
+// acting as the shared radio medium). They implement identical semantics and
+// the tests assert bit-identical histories.
+package radio
+
+import (
+	"errors"
+	"fmt"
+
+	"anonradio/internal/config"
+	"anonradio/internal/drip"
+	"anonradio/internal/history"
+)
+
+// DefaultMaxRounds is the global-round safety limit used when Options.MaxRounds
+// is zero. It is far above anything the canonical DRIP needs on the workloads
+// in this repository.
+const DefaultMaxRounds = 1_000_000
+
+// ErrRoundLimit is returned (wrapped) when the protocol fails to terminate on
+// every node within the configured round limit.
+var ErrRoundLimit = errors.New("radio: round limit exceeded")
+
+// Options control a simulation run.
+type Options struct {
+	// MaxRounds is the maximum number of global rounds to simulate before
+	// giving up. Zero means DefaultMaxRounds.
+	MaxRounds int
+	// RecordTrace enables collection of a per-round Trace in the Result.
+	RecordTrace bool
+	// Workers bounds the number of node goroutines that the concurrent
+	// engine keeps runnable at once. Zero means one goroutine per node.
+	Workers int
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return DefaultMaxRounds
+	}
+	return o.MaxRounds
+}
+
+// Result is the outcome of executing a protocol on a configuration.
+type Result struct {
+	// Histories[v] is the complete history vector of node v, indexed by
+	// local round, including the entry of the termination round.
+	Histories []history.Vector
+	// WakeRound[v] is the global round in which node v woke up.
+	WakeRound []int
+	// Forced[v] reports whether node v was woken up by a message.
+	Forced []bool
+	// DoneLocal[v] is the local round in which node v terminated.
+	DoneLocal []int
+	// GlobalRounds is the number of global rounds simulated, i.e. one more
+	// than the last global round in which any node was still executing.
+	GlobalRounds int
+	// Trace is the per-round transcript; nil unless Options.RecordTrace.
+	Trace *Trace
+}
+
+// Engine executes a protocol on a configuration.
+type Engine interface {
+	// Run simulates the protocol on the configuration until every node has
+	// terminated or the round limit is reached. All nodes execute the same
+	// protocol (the network is anonymous).
+	Run(cfg *config.Config, proto drip.Protocol, opts Options) (*Result, error)
+	// Name identifies the engine in reports.
+	Name() string
+}
+
+// ElectionOutcome describes the result of running a complete dedicated
+// leader election algorithm.
+type ElectionOutcome struct {
+	// Result is the underlying simulation result.
+	Result *Result
+	// Leaders is the sorted list of nodes whose decision function output 1.
+	Leaders []int
+	// Rounds is the number of global rounds until the last node terminated.
+	Rounds int
+}
+
+// Elected reports whether exactly one leader was elected.
+func (o *ElectionOutcome) Elected() bool { return len(o.Leaders) == 1 }
+
+// Leader returns the elected leader, or -1 if the election failed.
+func (o *ElectionOutcome) Leader() int {
+	if len(o.Leaders) == 1 {
+		return o.Leaders[0]
+	}
+	return -1
+}
+
+// RunElection executes the algorithm's protocol on cfg with the given engine
+// and applies its decision function to every node's final history.
+func RunElection(e Engine, cfg *config.Config, alg drip.Algorithm, opts Options) (*ElectionOutcome, error) {
+	if alg.Protocol == nil || alg.Decision == nil {
+		return nil, fmt.Errorf("radio: incomplete algorithm %q", alg.Name)
+	}
+	res, err := e.Run(cfg, alg.Protocol, opts)
+	if err != nil {
+		return nil, err
+	}
+	outcome := &ElectionOutcome{Result: res, Rounds: res.GlobalRounds}
+	for v := 0; v < cfg.N(); v++ {
+		if alg.Decision.Decide(res.Histories[v]) == 1 {
+			outcome.Leaders = append(outcome.Leaders, v)
+		}
+	}
+	return outcome, nil
+}
+
+// validate checks the simulation inputs shared by both engines.
+func validate(cfg *config.Config, proto drip.Protocol) error {
+	if cfg == nil {
+		return fmt.Errorf("radio: nil configuration")
+	}
+	if proto == nil {
+		return fmt.Errorf("radio: nil protocol")
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("radio: invalid configuration: %w", err)
+	}
+	return nil
+}
+
+// wakeEntry returns the history entry recorded by a node in its wake-up
+// round, given the number of neighbours transmitting in that round and the
+// message carried when exactly one transmits.
+func wakeEntry(transmitting int, msg string) history.Entry {
+	switch {
+	case transmitting == 1:
+		return history.Received(msg)
+	case transmitting >= 2:
+		return history.Collision()
+	default:
+		return history.Silent()
+	}
+}
+
+// listenEntry returns the history entry recorded by a listening node, given
+// the number of transmitting neighbours and the message when exactly one
+// transmits.
+func listenEntry(transmitting int, msg string) history.Entry {
+	return wakeEntry(transmitting, msg)
+}

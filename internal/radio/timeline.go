@@ -1,0 +1,142 @@
+package radio
+
+import (
+	"fmt"
+	"strings"
+
+	"anonradio/internal/history"
+)
+
+// Timeline renders a traced execution as a per-node grid: one row per node,
+// one column per global round, with a single character per cell. It is the
+// at-a-glance view used by cmd/inspect.
+//
+// Cell legend:
+//
+//	.  the node is asleep
+//	T  the node transmits
+//	m  the node hears a message
+//	*  the node hears noise (a collision)
+//	-  the node is awake and hears silence
+//	#  the node has terminated
+//
+// Long executions are compressed: runs of columns in which every node's cell
+// equals its cell in the previous column are collapsed and reported in the
+// header.
+type Timeline struct {
+	// Rows[v] is the rendered row for node v (without the node label).
+	Rows []string
+	// Columns[i] is the global round number of rendered column i.
+	Columns []int
+	// Compressed is the number of columns elided because they repeated the
+	// previous column exactly.
+	Compressed int
+}
+
+// BuildTimeline computes the timeline of a traced execution. It fails if the
+// result carries no trace.
+func BuildTimeline(res *Result) (*Timeline, error) {
+	if res == nil {
+		return nil, fmt.Errorf("radio: nil result")
+	}
+	if res.Trace == nil {
+		return nil, fmt.Errorf("radio: timeline requires a recorded trace (set Options.RecordTrace)")
+	}
+	n := len(res.Histories)
+	rounds := res.GlobalRounds
+
+	// cell[v][r] for every simulated round.
+	cells := make([][]byte, n)
+	for v := range cells {
+		cells[v] = make([]byte, rounds)
+		for r := range cells[v] {
+			cells[v][r] = '.'
+		}
+	}
+	// Fill from per-node histories: local round i of node v happens in
+	// global round WakeRound[v]+i.
+	for v := 0; v < n; v++ {
+		wake := res.WakeRound[v]
+		if wake < 0 {
+			continue
+		}
+		for i, e := range res.Histories[v] {
+			r := wake + i
+			if r >= rounds {
+				break
+			}
+			switch e.Kind {
+			case history.Message:
+				cells[v][r] = 'm'
+			case history.Noise:
+				cells[v][r] = '*'
+			default:
+				cells[v][r] = '-'
+			}
+			if res.DoneLocal[v] >= 0 && i >= res.DoneLocal[v] {
+				cells[v][r] = '#'
+			}
+		}
+		// Rounds after termination.
+		if res.DoneLocal[v] >= 0 {
+			for r := wake + res.DoneLocal[v] + 1; r < rounds; r++ {
+				cells[v][r] = '#'
+			}
+		}
+	}
+	// Overlay transmissions from the trace (a transmitting node records
+	// silence in its history, so the history alone cannot show it).
+	for _, rec := range res.Trace.Rounds {
+		if rec.Global >= rounds {
+			continue
+		}
+		for _, v := range rec.Transmitters {
+			cells[v][rec.Global] = 'T'
+		}
+	}
+
+	// Column compression.
+	tl := &Timeline{Rows: make([]string, n)}
+	var kept []int
+	for r := 0; r < rounds; r++ {
+		if r > 0 && len(kept) > 0 {
+			prev := kept[len(kept)-1]
+			same := true
+			for v := 0; v < n; v++ {
+				if cells[v][r] != cells[v][prev] {
+					same = false
+					break
+				}
+			}
+			if same {
+				tl.Compressed++
+				continue
+			}
+		}
+		kept = append(kept, r)
+	}
+	tl.Columns = kept
+	for v := 0; v < n; v++ {
+		var sb strings.Builder
+		for _, r := range kept {
+			sb.WriteByte(cells[v][r])
+		}
+		tl.Rows[v] = sb.String()
+	}
+	return tl, nil
+}
+
+// String renders the timeline with node labels and a round-number header.
+func (t *Timeline) String() string {
+	var sb strings.Builder
+	if t.Compressed > 0 {
+		fmt.Fprintf(&sb, "(%d repeated columns elided; columns show global rounds %v)\n", t.Compressed, t.Columns)
+	} else {
+		fmt.Fprintf(&sb, "(columns show global rounds %v)\n", t.Columns)
+	}
+	for v, row := range t.Rows {
+		fmt.Fprintf(&sb, "node %3d  %s\n", v, row)
+	}
+	sb.WriteString("legend: .=asleep T=transmit m=message *=noise -=silence #=terminated\n")
+	return sb.String()
+}

@@ -1,0 +1,99 @@
+package radio
+
+import (
+	"strings"
+	"testing"
+
+	"anonradio/internal/config"
+	"anonradio/internal/drip"
+)
+
+func TestBuildTimelineRequiresTrace(t *testing.T) {
+	if _, err := BuildTimeline(nil); err == nil {
+		t.Fatalf("nil result should error")
+	}
+	res, err := Sequential{}.Run(config.SingleNode(), drip.SilentTerminator{}, Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if _, err := BuildTimeline(res); err == nil {
+		t.Fatalf("missing trace should error")
+	}
+}
+
+func TestTimelineStarFlood(t *testing.T) {
+	cfg := config.EarlyCenterStar(4, 5)
+	res, err := Sequential{}.Run(cfg, drip.BeepAt{Round: 1, StopAfter: 3}, Options{RecordTrace: true})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	tl, err := BuildTimeline(res)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(tl.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(tl.Rows))
+	}
+	// The centre (node 0) transmits in global round 1: its row must contain
+	// a 'T'; the leaves hear the message in their wake-up round: 'm'.
+	if !strings.Contains(tl.Rows[0], "T") {
+		t.Fatalf("centre row missing transmission: %q", tl.Rows[0])
+	}
+	for v := 1; v < 4; v++ {
+		if !strings.Contains(tl.Rows[v], "m") {
+			t.Fatalf("leaf %d row missing message: %q", v, tl.Rows[v])
+		}
+		if !strings.HasPrefix(tl.Rows[v], ".") {
+			t.Fatalf("leaf %d should start asleep: %q", v, tl.Rows[v])
+		}
+	}
+	// Every node terminates, so every row ends in '#'.
+	for v, row := range tl.Rows {
+		if !strings.HasSuffix(row, "#") {
+			t.Fatalf("node %d row should end terminated: %q", v, row)
+		}
+	}
+	s := tl.String()
+	if !strings.Contains(s, "legend:") || !strings.Contains(s, "node   0") {
+		t.Fatalf("timeline rendering incomplete:\n%s", s)
+	}
+}
+
+func TestTimelineCollisionCell(t *testing.T) {
+	// Star whose centre wakes while three leaves transmit: the centre's
+	// wake-up cell must be '*'.
+	cfg := config.MustNew(config.EarlyCenterStar(4, 1).Graph(), []int{1, 0, 0, 0})
+	res, err := Sequential{}.Run(cfg, drip.BeepAt{Round: 1, StopAfter: 2}, Options{RecordTrace: true})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	tl, err := BuildTimeline(res)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if !strings.Contains(tl.Rows[0], "*") {
+		t.Fatalf("centre row missing collision: %q", tl.Rows[0])
+	}
+}
+
+func TestTimelineCompression(t *testing.T) {
+	// A long quiet span must be compressed.
+	cfg := config.MustNew(config.AsymmetricPair(40).Graph(), []int{0, 40})
+	res, err := Sequential{}.Run(cfg, drip.ListenForever{Rounds: 2}, Options{RecordTrace: true})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	tl, err := BuildTimeline(res)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if tl.Compressed == 0 {
+		t.Fatalf("expected compressed columns for a long quiet execution")
+	}
+	if len(tl.Columns) >= res.GlobalRounds {
+		t.Fatalf("compression did not reduce the column count")
+	}
+	if !strings.Contains(tl.String(), "elided") {
+		t.Fatalf("rendering should mention elided columns")
+	}
+}

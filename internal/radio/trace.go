@@ -1,0 +1,105 @@
+package radio
+
+import (
+	"fmt"
+	"strings"
+
+	"anonradio/internal/history"
+)
+
+// Trace is a per-global-round transcript of a simulation, intended for the
+// CLI tools and for debugging protocol implementations.
+type Trace struct {
+	// Rounds holds one record per simulated global round, in order.
+	Rounds []RoundRecord
+}
+
+// RoundRecord describes what happened in one global round.
+type RoundRecord struct {
+	// Global is the global round number.
+	Global int
+	// Transmitters lists the nodes that transmitted in this round, sorted.
+	Transmitters []int
+	// Messages[i] is the message sent by Transmitters[i].
+	Messages []string
+	// Woke lists the nodes that woke up in this round, sorted.
+	Woke []int
+	// Terminated lists the nodes that terminated in this round, sorted.
+	Terminated []int
+	// Heard maps listening nodes to the entry they recorded, for nodes that
+	// heard something other than silence.
+	Heard map[int]history.Entry
+}
+
+// addRound appends a record; used by the engines.
+func (t *Trace) addRound(r RoundRecord) {
+	if t == nil {
+		return
+	}
+	t.Rounds = append(t.Rounds, r)
+}
+
+// String renders the trace as a multi-line transcript. Rounds in which
+// nothing observable happened (no transmissions, wake-ups or terminations)
+// are summarized in compressed "quiet" lines.
+func (t *Trace) String() string {
+	if t == nil || len(t.Rounds) == 0 {
+		return "(empty trace)\n"
+	}
+	var sb strings.Builder
+	quietStart := -1
+	flushQuiet := func(end int) {
+		if quietStart < 0 {
+			return
+		}
+		if end-1 == quietStart {
+			fmt.Fprintf(&sb, "round %d: quiet\n", quietStart)
+		} else {
+			fmt.Fprintf(&sb, "rounds %d-%d: quiet\n", quietStart, end-1)
+		}
+		quietStart = -1
+	}
+	for _, r := range t.Rounds {
+		if len(r.Transmitters) == 0 && len(r.Woke) == 0 && len(r.Terminated) == 0 {
+			if quietStart < 0 {
+				quietStart = r.Global
+			}
+			continue
+		}
+		flushQuiet(r.Global)
+		fmt.Fprintf(&sb, "round %d:", r.Global)
+		if len(r.Woke) > 0 {
+			fmt.Fprintf(&sb, " wake%v", r.Woke)
+		}
+		for i, v := range r.Transmitters {
+			fmt.Fprintf(&sb, " tx(%d,%q)", v, r.Messages[i])
+		}
+		for _, kv := range sortedHeard(r.Heard) {
+			fmt.Fprintf(&sb, " rx(%d,%s)", kv.node, kv.entry.String())
+		}
+		if len(r.Terminated) > 0 {
+			fmt.Fprintf(&sb, " done%v", r.Terminated)
+		}
+		sb.WriteByte('\n')
+	}
+	flushQuiet(t.Rounds[len(t.Rounds)-1].Global + 1)
+	return sb.String()
+}
+
+type heardKV struct {
+	node  int
+	entry history.Entry
+}
+
+func sortedHeard(m map[int]history.Entry) []heardKV {
+	out := make([]heardKV, 0, len(m))
+	for node, e := range m {
+		out = append(out, heardKV{node, e})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].node > out[j].node; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+// Package stats provides the small set of statistics helpers used by the
+// experiment harness: summary statistics, linear regression and log-log
+// slope estimation for empirical scaling exponents.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics for xs. It returns a zero-valued
+// Summary for an empty sample.
+func Summarize(xs []float64) Summary {
+	s := Summary{Count: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min = xs[0]
+	s.Max = xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(varSum / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f",
+		s.Count, s.Mean, s.Stddev, s.Min, s.Median, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Linear is a fitted line y = Intercept + Slope*x.
+type Linear struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// FitLinear computes the least-squares line through the points (xs[i],
+// ys[i]). It returns an error if fewer than two points are provided, the
+// slices differ in length, or all x values are identical.
+func FitLinear(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Linear{}, fmt.Errorf("stats: need at least two points, got %d", len(xs))
+	}
+	mx := Mean(xs)
+	my := Mean(ys)
+	sxx, sxy := 0.0, 0.0
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return Linear{}, fmt.Errorf("stats: degenerate fit, all x values equal")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	ssTot, ssRes := 0.0, 0.0
+	for i := range xs {
+		pred := intercept + slope*xs[i]
+		ssTot += (ys[i] - my) * (ys[i] - my)
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Linear{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// LogLogSlope estimates the exponent p of a power law y ≈ c·x^p by fitting a
+// line to (log x, log y). Non-positive values are rejected with an error.
+func LogLogSlope(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return Linear{}, fmt.Errorf("stats: log-log fit requires positive values (index %d)", i)
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, math.Log(ys[i]))
+	}
+	return FitLinear(lx, ly)
+}
+
+// Ratio returns a/b, or 0 when b is 0; a convenience for speedup columns.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

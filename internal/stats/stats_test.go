@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.Stddev != 0 {
+		t.Fatalf("empty summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 || !approx(s.Mean, 5, 1e-9) {
+		t.Fatalf("mean wrong: %+v", s)
+	}
+	if !approx(s.Stddev, 2.138, 1e-3) {
+		t.Fatalf("stddev wrong: %+v", s)
+	}
+	if s.Min != 2 || s.Max != 9 || !approx(s.Median, 4.5, 1e-9) {
+		t.Fatalf("min/max/median wrong: %+v", s)
+	}
+	if !strings.Contains(s.String(), "mean=5.000") {
+		t.Fatalf("summary string: %q", s.String())
+	}
+}
+
+func TestSummarizeOddMedianAndSingle(t *testing.T) {
+	if m := Summarize([]float64{3, 1, 2}).Median; m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	one := Summarize([]float64{7})
+	if one.Median != 7 || one.Stddev != 0 || one.Mean != 7 {
+		t.Fatalf("single-element summary wrong: %+v", one)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatalf("mean of empty should be 0")
+	}
+	if Mean([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatalf("mean wrong")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if !approx(fit.Slope, 2, 1e-9) || !approx(fit.Intercept, 1, 1e-9) || !approx(fit.R2, 1, 1e-9) {
+		t.Fatalf("fit wrong: %+v", fit)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 4*x-7+rng.NormFloat64())
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if !approx(fit.Slope, 4, 0.05) || !approx(fit.Intercept, -7, 1.0) {
+		t.Fatalf("noisy fit off: %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 too low: %v", fit.R2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatalf("length mismatch should error")
+	}
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Fatalf("single point should error")
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatalf("constant x should error")
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = 3 x^2.5
+	var xs, ys []float64
+	for x := 1.0; x <= 64; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 2.5))
+	}
+	fit, err := LogLogSlope(xs, ys)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if !approx(fit.Slope, 2.5, 1e-9) {
+		t.Fatalf("exponent wrong: %+v", fit)
+	}
+	if _, err := LogLogSlope([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Fatalf("non-positive x should error")
+	}
+	if _, err := LogLogSlope([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatalf("length mismatch should error")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Fatalf("ratio wrong")
+	}
+}
+
+func TestPropertySummaryBounds(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%50) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*200 - 100
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Stddev >= 0 && s.Count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("summary bounds violated: %v", err)
+	}
+}
+
+func TestPropertyFitRecoversLine(t *testing.T) {
+	f := func(seed int64, slope8, intercept8 int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slope := float64(slope8)
+		intercept := float64(intercept8)
+		var xs, ys []float64
+		for i := 0; i < 20; i++ {
+			x := float64(i) + rng.Float64()
+			xs = append(xs, x)
+			ys = append(ys, slope*x+intercept)
+		}
+		fit, err := FitLinear(xs, ys)
+		if err != nil {
+			return false
+		}
+		return approx(fit.Slope, slope, 1e-6) && approx(fit.Intercept, intercept, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("fit recovery failed: %v", err)
+	}
+}
