@@ -298,6 +298,61 @@ func BuildTimeline(res *SimulationResult) (*ExecutionTimeline, error) {
 // BenchmarkAblationRefine* benchmarks compare the two implementations.
 func ClassifyFast(cfg *Config) (*Report, error) { return core.ClassifyFast(cfg) }
 
+// ClassifyOptions control how much of a Classifier run the report
+// materializes; the zero value is the lean mode used by batch surveys (only
+// the final partition is kept), while RecordSnapshots true reproduces the
+// full per-iteration history of Classify.
+type ClassifyOptions = core.ClassifyOptions
+
+// ClassifyTurbo is the throughput-engineered classifier: flat packed label
+// arenas, integer-hashed refinement and reusable scratch state. With
+// ClassifyOptions{RecordSnapshots: true} its report carries the same
+// verdict, leader, iteration count, partition sequence and lists as
+// Classify's (a property test enforces this; only the Stats operation
+// counters are implementation-specific); the lean zero value skips the
+// per-iteration snapshot clones for callers that only need the verdict,
+// leader and lists.
+func ClassifyTurbo(cfg *Config, opts ClassifyOptions) (*Report, error) {
+	return core.ClassifyTurbo(cfg, opts)
+}
+
+// BatchResult is the outcome of classifying one configuration of a batch.
+type BatchResult = core.BatchResult
+
+// ClassifyBatch classifies many configurations in parallel on a worker pool
+// (workers < 1 selects GOMAXPROCS); each worker reuses one turbo scratch
+// arena. Results are indexed like the input and failures are reported per
+// configuration.
+func ClassifyBatch(cfgs []*Config, opts ClassifyOptions, workers int) []BatchResult {
+	return core.ClassifyBatch(cfgs, opts, workers)
+}
+
+// FeasibilitySurvey aggregates the verdicts of a parallel feasibility
+// survey.
+type FeasibilitySurvey = core.Survey
+
+// SurveyParallel classifies count configurations produced by gen (gen(i)
+// builds configuration i inside the worker pool, so it must be safe for
+// concurrent calls with distinct arguments) and aggregates the verdicts.
+// Deterministic generators make the survey reproducible regardless of
+// worker count.
+func SurveyParallel(count, workers int, gen func(i int) *Config) (*FeasibilitySurvey, error) {
+	return core.SurveyParallel(count, workers, gen)
+}
+
+// SimulationOptions control a simulation run (round limit, tracing, worker
+// bound for the concurrent engine).
+type SimulationOptions = radio.Options
+
+// Simulator is a reusable sequential simulation engine bound to one
+// configuration: buffers (including the returned Result) are reused across
+// runs, making repeated simulations allocation-free in steady state. The
+// Result of a Run is valid until the next Run on the same Simulator.
+type Simulator = radio.Simulator
+
+// NewSimulator builds a reusable sequential engine for cfg.
+func NewSimulator(cfg *Config) (*Simulator, error) { return radio.NewSimulator(cfg) }
+
 // RunExperiments regenerates every experiment table (E1-E10) and writes them
 // to w. With quick=true a reduced parameter sweep is used.
 func RunExperiments(w io.Writer, quick bool, seed int64) error {

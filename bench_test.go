@@ -19,6 +19,7 @@ import (
 	"anonradio/internal/canonical"
 	"anonradio/internal/config"
 	"anonradio/internal/core"
+	"anonradio/internal/drip"
 	"anonradio/internal/election"
 	"anonradio/internal/graph"
 	"anonradio/internal/radio"
@@ -423,6 +424,128 @@ func BenchmarkAblationRefineHash(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.ClassifyFast(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- A1 (continued): turbo classifier and batch serving ----------------------------
+
+func BenchmarkAblationRefineTurbo(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		b.Run(fmt.Sprintf("clique-n=%d", n), func(b *testing.B) {
+			cfg := config.StaggeredClique(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ClassifyTurbo(cfg, core.ClassifyOptions{RecordSnapshots: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationRefineTurboLean(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		b.Run(fmt.Sprintf("clique-n=%d", n), func(b *testing.B) {
+			cfg := config.StaggeredClique(n)
+			engine := core.NewTurbo()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Classify(cfg, core.ClassifyOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClassifyBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	cfgs := make([]*config.Config, 256)
+	for i := range cfgs {
+		cfgs[i] = config.Random(24, 4.0/24.0, config.UniformRandomTags{Span: 3}, rng)
+	}
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results := core.ClassifyBatch(cfgs, core.ClassifyOptions{}, workers)
+				for _, res := range results {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSurveyParallel(b *testing.B) {
+	gen := func(i int) *config.Config {
+		rng := rand.New(rand.NewSource(int64(i)))
+		return config.Random(24, 4.0/24.0, config.UniformRandomTags{Span: 3}, rng)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SurveyParallel(256, 0, gen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks: refinement-step building blocks ------------------------------
+
+func BenchmarkMicroLabelSort(b *testing.B) {
+	for _, size := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("len=%d", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			src := make(core.Label, size)
+			for i := range src {
+				src[i] = core.Triple{Class: rng.Intn(9) + 1, Round: rng.Intn(11) + 1, Multi: rng.Intn(2) == 1}
+			}
+			scratch := make(core.Label, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(scratch, src)
+				scratch.Sort()
+			}
+		})
+	}
+}
+
+// --- E8 (continued): steady-state engine round loop ---------------------------------
+
+// BenchmarkE8SimulatorSteadyState measures the sequential engine's round
+// loop with a reused Simulator and a non-allocating protocol: after the
+// first run warms the buffers the loop must report 0 allocs/op (the
+// acceptance criterion for the zero-alloc rewrite; the companion test
+// TestSimulatorSteadyStateAllocs enforces it exactly).
+func BenchmarkE8SimulatorSteadyState(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := config.StaggeredClique(n)
+			sim, err := radio.NewSimulator(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var proto drip.Protocol = drip.BeepAt{Round: 1, StopAfter: 4}
+			if _, err := sim.Run(proto, radio.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(proto, radio.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,36 +1,64 @@
 // Feasibility survey: sample random anonymous radio networks and measure how
 // often leader election is possible as a function of the wake-up span. The
-// paper's Classifier makes this question decidable in polynomial time; every
-// verdict is cross-checked against the independent naive oracle.
+// paper's Classifier makes this question decidable in polynomial time; the
+// survey itself runs on the parallel batch-classification layer (one turbo
+// scratch arena per worker), so sweeps over thousands of configurations
+// scale across cores. A deterministic subsample of every sweep is
+// cross-checked against the independent naive oracle.
 //
 // Run with:
 //
-//	go run ./examples/feasibility-survey [-n 24] [-trials 200] [-seed 7]
+//	go run ./examples/feasibility-survey [-n 24] [-trials 200] [-seed 7] [-workers 0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
+	"time"
 
 	"anonradio"
 )
 
 func main() {
 	var (
-		n      = flag.Int("n", 24, "number of nodes per sampled configuration")
-		trials = flag.Int("trials", 200, "number of configurations per span value")
-		seed   = flag.Int64("seed", 7, "base random seed")
+		n       = flag.Int("n", 24, "number of nodes per sampled configuration")
+		trials  = flag.Int("trials", 200, "number of configurations per span value")
+		seed    = flag.Int64("seed", 7, "base random seed")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
 	)
 	flag.Parse()
 
-	fmt.Printf("feasibility of random %d-node configurations (sparse connected graphs, uniform tags)\n\n", *n)
-	fmt.Printf("%6s  %10s  %12s  %12s\n", "span", "feasible", "infeasible", "feasible %")
+	effective := *workers
+	if effective < 1 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("feasibility of random %d-node configurations (sparse connected graphs, uniform tags)\n", *n)
+	fmt.Printf("surveying %d configurations per span on %d workers\n\n", *trials, effective)
+	fmt.Printf("%6s  %10s  %12s  %12s  %12s\n", "span", "feasible", "infeasible", "feasible %", "elapsed")
 
 	for _, span := range []int{0, 1, 2, 4, 8, 16} {
-		feasible := 0
-		for trial := 0; trial < *trials; trial++ {
-			cfg := anonradio.RandomConfig(*n, 4.0/float64(*n), span, *seed+int64(span*100000+trial))
+		span := span
+		gen := func(i int) *anonradio.Config {
+			return anonradio.RandomConfig(*n, 4.0/float64(*n), span, *seed+int64(span*100000+i))
+		}
+		start := time.Now()
+		survey, err := anonradio.SurveyParallel(*trials, *workers, gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+
+		// Cross-check a deterministic subsample against the independent
+		// naive oracle (checking all trials would make the exponential
+		// oracle, not the Classifier, the bottleneck).
+		step := *trials / 10
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < *trials; i += step {
+			cfg := gen(i)
 			ok, agree, err := anonradio.CrossCheckFeasibility(cfg)
 			if err != nil {
 				log.Fatal(err)
@@ -38,12 +66,14 @@ func main() {
 			if !agree {
 				log.Fatalf("classifier and oracle disagree on %s", cfg)
 			}
-			if ok {
-				feasible++
+			if ok != survey.Verdicts[i] {
+				log.Fatalf("survey verdict diverged from direct classification on %s", cfg)
 			}
 		}
-		fmt.Printf("%6d  %10d  %12d  %11.1f%%\n",
-			span, feasible, *trials-feasible, 100*float64(feasible)/float64(*trials))
+
+		fmt.Printf("%6d  %10d  %12d  %11.1f%%  %12s\n",
+			span, survey.Feasible, survey.Count-survey.Feasible,
+			100*survey.FeasibleFraction(), elapsed.Round(time.Millisecond))
 	}
 
 	fmt.Println("\nwith span 0 every node wakes simultaneously and symmetry can never be broken;")

@@ -1,0 +1,3 @@
+module anonradio
+
+go 1.24

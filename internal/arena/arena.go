@@ -1,0 +1,13 @@
+// Package arena provides the small buffer-reuse helpers shared by the
+// performance-engineered paths (the turbo classifier and the reusable
+// simulator).
+package arena
+
+// Grow returns a length-n slice, reusing s's backing array when it is large
+// enough. Contents are unspecified; callers overwrite every element.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,25 @@
+package arena
+
+import "testing"
+
+func TestGrow(t *testing.T) {
+	s := Grow[int](nil, 4)
+	if len(s) != 4 {
+		t.Fatalf("len = %d, want 4", len(s))
+	}
+	s[0] = 7
+	bigger := Grow(s, 8)
+	if len(bigger) != 8 {
+		t.Fatalf("len = %d, want 8", len(bigger))
+	}
+	smaller := Grow(bigger, 2)
+	if len(smaller) != 2 || cap(smaller) < 8 {
+		t.Fatalf("reuse failed: len=%d cap=%d", len(smaller), cap(smaller))
+	}
+	if &smaller[0] != &bigger[0] {
+		t.Fatalf("backing array was not reused")
+	}
+	if allocs := testing.AllocsPerRun(20, func() { s = Grow(s, 3) }); allocs != 0 {
+		t.Fatalf("reusing Grow allocates %.1f times", allocs)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"anonradio/internal/config"
+)
+
+// This file contains the batch-serving layer: a worker pool that classifies
+// many configurations in parallel with the turbo engine. Every worker owns
+// one Turbo scratch arena, so a batch of thousands of configurations costs
+// O(workers) arenas instead of O(configurations) maps and label slices, and
+// the work scales across cores. Feasibility surveys — the heaviest
+// multi-configuration workload in the repository — go through SurveyParallel.
+
+// BatchResult is the outcome of classifying one configuration of a batch.
+type BatchResult struct {
+	// Index is the position of the configuration in the input slice.
+	Index int
+	// Report is the classification report; nil when Err is non-nil.
+	Report *Report
+	// Err is the per-configuration failure, if any.
+	Err error
+}
+
+// normWorkers resolves a worker-count request: values below 1 select
+// GOMAXPROCS, and the count never exceeds the number of jobs.
+func normWorkers(workers, jobs int) int {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ClassifyBatch classifies every configuration with the turbo engine using a
+// pool of workers goroutines (workers < 1 selects GOMAXPROCS). The result
+// slice is indexed like cfgs; configurations are classified independently,
+// so individual failures are reported per entry rather than aborting the
+// batch.
+func ClassifyBatch(cfgs []*config.Config, opts ClassifyOptions, workers int) []BatchResult {
+	results := make([]BatchResult, len(cfgs))
+	if len(cfgs) == 0 {
+		return results
+	}
+	workers = normWorkers(workers, len(cfgs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			engine := NewTurbo()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				rep, err := engine.Classify(cfgs[i], opts)
+				results[i] = BatchResult{Index: i, Report: rep, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Survey is the aggregate outcome of a parallel feasibility survey.
+type Survey struct {
+	// Count is the number of configurations surveyed.
+	Count int
+	// Feasible is the number classified as feasible.
+	Feasible int
+	// Verdicts[i] reports whether configuration i is feasible.
+	Verdicts []bool
+	// Iterations[i] is the number of Partitioner iterations configuration i
+	// needed.
+	Iterations []int
+}
+
+// FeasibleFraction returns the fraction of surveyed configurations that are
+// feasible (0 for an empty survey).
+func (s *Survey) FeasibleFraction() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Feasible) / float64(s.Count)
+}
+
+// MeanIterations returns the mean number of Partitioner iterations over the
+// survey (0 for an empty survey).
+func (s *Survey) MeanIterations() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	total := 0
+	for _, it := range s.Iterations {
+		total += it
+	}
+	return float64(total) / float64(s.Count)
+}
+
+// SurveyParallel runs a feasibility survey over count configurations
+// produced by gen: configuration i is gen(i), and generation happens inside
+// the worker pool so that both construction and classification scale across
+// cores (workers < 1 selects GOMAXPROCS). gen must be safe for concurrent
+// calls with distinct arguments; deterministic generators (a seed derived
+// from i) make the whole survey reproducible regardless of worker count.
+// Classification runs in lean mode: surveys only need verdicts and
+// iteration counts, so snapshot history is never materialized.
+func SurveyParallel(count, workers int, gen func(i int) *config.Config) (*Survey, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("core: negative survey count %d", count)
+	}
+	if gen == nil {
+		return nil, fmt.Errorf("core: nil configuration generator")
+	}
+	survey := &Survey{
+		Count:      count,
+		Verdicts:   make([]bool, count),
+		Iterations: make([]int, count),
+	}
+	if count == 0 {
+		return survey, nil
+	}
+	workers = normWorkers(workers, count)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			engine := NewTurbo()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= count {
+					return
+				}
+				rep, err := engine.Classify(gen(i), ClassifyOptions{})
+				if err != nil {
+					if errs[worker] == nil {
+						errs[worker] = fmt.Errorf("core: survey configuration %d: %w", i, err)
+					}
+					continue
+				}
+				survey.Verdicts[i] = rep.Feasible()
+				survey.Iterations[i] = rep.Stats.Iterations
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, ok := range survey.Verdicts {
+		if ok {
+			survey.Feasible++
+		}
+	}
+	return survey, nil
+}

@@ -107,8 +107,16 @@ type Report struct {
 // Feasible reports whether the configuration was classified as feasible.
 func (r *Report) Feasible() bool { return r.Decision == Feasible }
 
-// Iterations returns the number of Partitioner calls executed.
-func (r *Report) Iterations() int { return len(r.Snapshots) - 1 }
+// Iterations returns the number of Partitioner calls executed. It is
+// derived from the snapshot history when one was recorded, and falls back
+// to the Stats counter for lean reports (ClassifyOptions{RecordSnapshots:
+// false}), which keep only the final snapshot.
+func (r *Report) Iterations() int {
+	if n := len(r.Snapshots); n > 1 {
+		return n - 1
+	}
+	return r.Stats.Iterations
+}
 
 // FinalSnapshot returns the partition at the end of the run.
 func (r *Report) FinalSnapshot() Snapshot { return r.Snapshots[len(r.Snapshots)-1] }

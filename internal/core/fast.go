@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"anonradio/internal/config"
@@ -116,7 +115,7 @@ func partitionerFast(cfg *config.Config, sigma int, prev Snapshot, stats *Stats)
 			nv = append(nv, Triple{Class: p.class, Round: p.round, Multi: count > 1})
 			stats.TripleInsertions++
 		}
-		sort.Slice(nv, func(i, j int) bool { return nv[i].Less(nv[j]) })
+		nv.Sort()
 		labels[v] = nv
 	}
 

@@ -191,16 +191,24 @@ func E7Survey(opts Options) (*Table, error) {
 		"n", "span", "trials", "feasible %", "mean iterations", "oracle agreement")
 	for _, n := range sizes {
 		for _, span := range spans {
+			// Generation stays on the single deterministic rng stream (so
+			// tables are reproducible), classification fans out over the
+			// turbo worker pool in lean mode, and the independent naive
+			// oracle cross-checks every verdict.
+			cfgs := make([]*config.Config, trials)
+			for trial := range cfgs {
+				cfgs[trial] = config.Random(n, 4.0/float64(n), config.UniformRandomTags{Span: span}, rng)
+			}
+			results := core.ClassifyBatch(cfgs, core.ClassifyOptions{}, 0)
 			feasible := 0
 			agree := 0
 			var iters []float64
-			for trial := 0; trial < trials; trial++ {
-				cfg := config.Random(n, 4.0/float64(n), config.UniformRandomTags{Span: span}, rng)
-				rep, err := core.Classify(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("E7 n=%d span=%d: %w", n, span, err)
+			for trial, res := range results {
+				if res.Err != nil {
+					return nil, fmt.Errorf("E7 n=%d span=%d: %w", n, span, res.Err)
 				}
-				naive, err := baseline.NaiveClassify(cfg)
+				rep := res.Report
+				naive, err := baseline.NaiveClassify(cfgs[trial])
 				if err != nil {
 					return nil, fmt.Errorf("E7 n=%d span=%d: %w", n, span, err)
 				}

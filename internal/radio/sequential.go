@@ -10,7 +10,9 @@ import (
 
 // Sequential is the deterministic single-threaded simulation engine. It is
 // the reference implementation of the model semantics; the concurrent engine
-// is validated against it.
+// is validated against it. Each call dedicates a fresh Simulator to the run,
+// so the returned Result owns its memory; callers that execute many runs on
+// the same configuration should hold a Simulator directly and reuse it.
 type Sequential struct{}
 
 // Name implements Engine.
@@ -28,14 +30,14 @@ type nodeState struct {
 
 // Run implements Engine.
 func (Sequential) Run(cfg *config.Config, proto drip.Protocol, opts Options) (*Result, error) {
-	if err := validate(cfg, proto); err != nil {
+	if proto == nil {
+		return nil, fmt.Errorf("radio: nil protocol")
+	}
+	sim, err := NewSimulator(cfg) // validates cfg
+	if err != nil {
 		return nil, err
 	}
-	protos := make([]drip.Protocol, cfg.N())
-	for v := range protos {
-		protos[v] = proto
-	}
-	return runAssigned(cfg, protos, opts)
+	return sim.Run(proto, opts)
 }
 
 // RunAssigned executes a heterogeneous system in which node v runs
@@ -47,181 +49,9 @@ func RunAssigned(cfg *config.Config, protos []drip.Protocol, opts Options) (*Res
 	if cfg == nil {
 		return nil, fmt.Errorf("radio: nil configuration")
 	}
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("radio: invalid configuration: %w", err)
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if len(protos) != cfg.N() {
-		return nil, fmt.Errorf("radio: %d protocols for %d nodes", len(protos), cfg.N())
-	}
-	for v, p := range protos {
-		if p == nil {
-			return nil, fmt.Errorf("radio: nil protocol for node %d", v)
-		}
-	}
-	return runAssigned(cfg, protos, opts)
-}
-
-func runAssigned(cfg *config.Config, protos []drip.Protocol, opts Options) (*Result, error) {
-	n := cfg.N()
-	g := cfg.Graph()
-	states := make([]nodeState, n)
-	for v := range states {
-		states[v].wakeRound = -1
-		states[v].doneLocal = -1
-	}
-
-	var trace *Trace
-	if opts.RecordTrace {
-		trace = &Trace{}
-	}
-
-	maxRounds := opts.maxRounds()
-	remaining := n // nodes that have not yet terminated
-	lastActive := 0
-
-	// actions[v] holds the action chosen by an awake executing node in the
-	// current round; transmitted[v] and messages[v] describe the medium.
-	actions := make([]drip.Action, n)
-	acting := make([]bool, n)
-	transmitting := make([]bool, n)
-	messages := make([]string, n)
-
-	for round := 0; remaining > 0; round++ {
-		if round >= maxRounds {
-			return partialResult(states, round, trace), fmt.Errorf("%w: %d rounds simulated, %d nodes still running", ErrRoundLimit, round, remaining)
-		}
-
-		// Step 1: every awake, non-terminated node that woke up in an
-		// earlier round consults the protocol for its next action.
-		for v := 0; v < n; v++ {
-			acting[v] = false
-			transmitting[v] = false
-			st := &states[v]
-			if !st.awake || st.terminated || st.wakeRound == round {
-				continue
-			}
-			acting[v] = true
-			actions[v] = protos[v].Act(st.hist)
-			if actions[v].Kind == drip.Transmit {
-				transmitting[v] = true
-				messages[v] = actions[v].Msg
-			}
-		}
-
-		// Step 2: resolve the radio medium: count transmitting neighbours of
-		// every node and remember the message when the count is exactly one.
-		counts := make([]int, n)
-		single := make([]string, n)
-		for v := 0; v < n; v++ {
-			if !transmitting[v] {
-				continue
-			}
-			for _, w := range g.Neighbors(v) {
-				counts[w]++
-				single[w] = messages[v]
-			}
-		}
-
-		var rec RoundRecord
-		if trace != nil {
-			rec = RoundRecord{Global: round, Heard: make(map[int]history.Entry)}
-			for v := 0; v < n; v++ {
-				if transmitting[v] {
-					rec.Transmitters = append(rec.Transmitters, v)
-					rec.Messages = append(rec.Messages, messages[v])
-				}
-			}
-		}
-
-		// Step 3: wake-ups. A sleeping node wakes spontaneously when the
-		// global round equals its tag, or by force when it receives a
-		// message (exactly one transmitting neighbour).
-		for v := 0; v < n; v++ {
-			st := &states[v]
-			if st.awake {
-				continue
-			}
-			spontaneous := cfg.Tag(v) == round
-			forced := counts[v] == 1
-			if !spontaneous && !forced {
-				continue
-			}
-			st.awake = true
-			st.wakeRound = round
-			st.forced = forced
-			st.hist = append(st.hist, wakeEntry(counts[v], single[v]))
-			if trace != nil {
-				rec.Woke = append(rec.Woke, v)
-				if counts[v] > 0 {
-					rec.Heard[v] = st.hist[0]
-				}
-			}
-			lastActive = round
-		}
-
-		// Step 4: record history entries and process terminations for the
-		// nodes that acted this round.
-		for v := 0; v < n; v++ {
-			if !acting[v] {
-				continue
-			}
-			st := &states[v]
-			switch actions[v].Kind {
-			case drip.Transmit:
-				st.hist = append(st.hist, history.Silent())
-				lastActive = round
-			case drip.Listen:
-				entry := listenEntry(counts[v], single[v])
-				st.hist = append(st.hist, entry)
-				if trace != nil && entry.Kind != history.Silence {
-					rec.Heard[v] = entry
-				}
-				if counts[v] > 0 {
-					lastActive = round
-				}
-			case drip.Terminate:
-				st.terminated = true
-				st.doneLocal = len(st.hist)
-				st.hist = append(st.hist, history.Silent())
-				remaining--
-				if trace != nil {
-					rec.Terminated = append(rec.Terminated, v)
-				}
-				lastActive = round
-			default:
-				return nil, fmt.Errorf("radio: protocol returned invalid action %v for node %d", actions[v], v)
-			}
-		}
-
-		trace.addRound(rec)
-	}
-
-	return finalResult(states, lastActive+1, trace), nil
-}
-
-func partialResult(states []nodeState, rounds int, trace *Trace) *Result {
-	return buildResult(states, rounds, trace)
-}
-
-func finalResult(states []nodeState, rounds int, trace *Trace) *Result {
-	return buildResult(states, rounds, trace)
-}
-
-func buildResult(states []nodeState, rounds int, trace *Trace) *Result {
-	n := len(states)
-	res := &Result{
-		Histories:    make([]history.Vector, n),
-		WakeRound:    make([]int, n),
-		Forced:       make([]bool, n),
-		DoneLocal:    make([]int, n),
-		GlobalRounds: rounds,
-		Trace:        trace,
-	}
-	for v := range states {
-		res.Histories[v] = states[v].hist
-		res.WakeRound[v] = states[v].wakeRound
-		res.Forced[v] = states[v].forced
-		res.DoneLocal[v] = states[v].doneLocal
-	}
-	return res
+	return sim.RunAssigned(protos, opts)
 }

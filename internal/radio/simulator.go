@@ -1,0 +1,272 @@
+package radio
+
+import (
+	"fmt"
+
+	"anonradio/internal/arena"
+	"anonradio/internal/config"
+	"anonradio/internal/drip"
+	"anonradio/internal/graph"
+	"anonradio/internal/history"
+)
+
+// Simulator is a reusable sequential simulation engine bound to one
+// configuration. All per-node and per-round buffers — medium state, action
+// scratch, history backing arrays, the result itself — are allocated once
+// and reused across runs, so from the second Run onwards the engine's own
+// round loop performs no heap allocations (protocols may of course allocate
+// inside Act, and traced runs record per-round transcripts).
+//
+// The round loop is also allocation-free *within* a run: the transmitter
+// medium (counts of transmitting neighbours, pending single messages) is
+// hoisted out of the loop and reset through a dirty list that touches only
+// the neighbourhoods of the round's transmitters, so quiet rounds cost O(n)
+// flag resets and nothing else.
+//
+// The Result returned by Run points into the simulator's reusable buffers:
+// it is valid until the next Run on the same Simulator. Callers that need
+// to retain results across runs must copy them (or use the one-shot
+// Sequential engine, which dedicates a fresh Simulator per call).
+//
+// A Simulator is not safe for concurrent use; give each goroutine its own.
+type Simulator struct {
+	cfg *config.Config
+	csr graph.CSR
+
+	states       []nodeState
+	protos       []drip.Protocol
+	actions      []drip.Action
+	acting       []bool
+	transmitting []bool
+	messages     []string
+	counts       []int32  // transmitting-neighbour count per node
+	single       []string // pending message when counts is exactly 1
+	touched      []int32  // nodes whose counts/single entries are dirty
+
+	res Result
+}
+
+// NewSimulator validates cfg and builds a reusable simulator for it.
+func NewSimulator(cfg *config.Config) (*Simulator, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("radio: nil configuration")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("radio: invalid configuration: %w", err)
+	}
+	n := cfg.N()
+	return &Simulator{
+		cfg:          cfg,
+		csr:          cfg.Graph().CSR(),
+		states:       make([]nodeState, n),
+		protos:       make([]drip.Protocol, n),
+		actions:      make([]drip.Action, n),
+		acting:       make([]bool, n),
+		transmitting: make([]bool, n),
+		messages:     make([]string, n),
+		counts:       make([]int32, n),
+		single:       make([]string, n),
+		touched:      make([]int32, 0, n),
+	}, nil
+}
+
+// Config returns the configuration the simulator is bound to.
+func (s *Simulator) Config() *config.Config { return s.cfg }
+
+// Run executes proto identically on every node (the anonymous model) and
+// returns the result. See the Simulator doc comment for the lifetime of the
+// returned Result.
+func (s *Simulator) Run(proto drip.Protocol, opts Options) (*Result, error) {
+	if proto == nil {
+		return nil, fmt.Errorf("radio: nil protocol")
+	}
+	for v := range s.protos {
+		s.protos[v] = proto
+	}
+	return s.run(opts)
+}
+
+// RunAssigned executes a heterogeneous system in which node v runs
+// protos[v]; it backs the labeled baselines of the evaluation.
+func (s *Simulator) RunAssigned(protos []drip.Protocol, opts Options) (*Result, error) {
+	if len(protos) != s.cfg.N() {
+		return nil, fmt.Errorf("radio: %d protocols for %d nodes", len(protos), s.cfg.N())
+	}
+	for v, p := range protos {
+		if p == nil {
+			return nil, fmt.Errorf("radio: nil protocol for node %d", v)
+		}
+	}
+	copy(s.protos, protos)
+	return s.run(opts)
+}
+
+// run is the engine's round loop. The step structure follows the model
+// definition (see the package comment): choose actions, resolve the medium,
+// process wake-ups, then record histories and terminations.
+func (s *Simulator) run(opts Options) (*Result, error) {
+	n := s.cfg.N()
+	for v := range s.states {
+		s.states[v] = nodeState{wakeRound: -1, doneLocal: -1, hist: s.states[v].hist[:0]}
+	}
+
+	var trace *Trace
+	if opts.RecordTrace {
+		trace = &Trace{}
+	}
+
+	maxRounds := opts.maxRounds()
+	remaining := n // nodes that have not yet terminated
+	lastActive := 0
+	// Drain any medium state left dirty by a previous run that returned
+	// mid-round (round limit, invalid protocol action): entries dirtied in
+	// the aborted round are still on the touched list, so resetting them
+	// here restores the all-clean invariant the round loop relies on.
+	for _, w := range s.touched {
+		s.counts[w] = 0
+		s.single[w] = ""
+	}
+	s.touched = s.touched[:0]
+
+	for round := 0; remaining > 0; round++ {
+		if round >= maxRounds {
+			return s.buildResult(round, trace), fmt.Errorf("%w: %d rounds simulated, %d nodes still running", ErrRoundLimit, round, remaining)
+		}
+
+		// Step 1: every awake, non-terminated node that woke up in an
+		// earlier round consults the protocol for its next action.
+		for v := 0; v < n; v++ {
+			s.acting[v] = false
+			s.transmitting[v] = false
+			st := &s.states[v]
+			if !st.awake || st.terminated || st.wakeRound == round {
+				continue
+			}
+			s.acting[v] = true
+			s.actions[v] = s.protos[v].Act(st.hist)
+			if s.actions[v].Kind == drip.Transmit {
+				s.transmitting[v] = true
+				s.messages[v] = s.actions[v].Msg
+			}
+		}
+
+		// Step 2: resolve the radio medium: count transmitting neighbours of
+		// every node and remember the message when the count is exactly one.
+		// Only the neighbourhoods of transmitters are written, and only
+		// those entries are reset at the end of the round.
+		for v := 0; v < n; v++ {
+			if !s.transmitting[v] {
+				continue
+			}
+			for _, w := range s.csr.Neighbors(v) {
+				if s.counts[w] == 0 {
+					s.touched = append(s.touched, w)
+				}
+				s.counts[w]++
+				s.single[w] = s.messages[v]
+			}
+		}
+
+		var rec RoundRecord
+		if trace != nil {
+			rec = RoundRecord{Global: round, Heard: make(map[int]history.Entry)}
+			for v := 0; v < n; v++ {
+				if s.transmitting[v] {
+					rec.Transmitters = append(rec.Transmitters, v)
+					rec.Messages = append(rec.Messages, s.messages[v])
+				}
+			}
+		}
+
+		// Step 3: wake-ups. A sleeping node wakes spontaneously when the
+		// global round equals its tag, or by force when it receives a
+		// message (exactly one transmitting neighbour).
+		for v := 0; v < n; v++ {
+			st := &s.states[v]
+			if st.awake {
+				continue
+			}
+			spontaneous := s.cfg.Tag(v) == round
+			forced := s.counts[v] == 1
+			if !spontaneous && !forced {
+				continue
+			}
+			st.awake = true
+			st.wakeRound = round
+			st.forced = forced
+			st.hist = append(st.hist, wakeEntry(int(s.counts[v]), s.single[v]))
+			if trace != nil {
+				rec.Woke = append(rec.Woke, v)
+				if s.counts[v] > 0 {
+					rec.Heard[v] = st.hist[0]
+				}
+			}
+			lastActive = round
+		}
+
+		// Step 4: record history entries and process terminations for the
+		// nodes that acted this round.
+		for v := 0; v < n; v++ {
+			if !s.acting[v] {
+				continue
+			}
+			st := &s.states[v]
+			switch s.actions[v].Kind {
+			case drip.Transmit:
+				st.hist = append(st.hist, history.Silent())
+				lastActive = round
+			case drip.Listen:
+				entry := listenEntry(int(s.counts[v]), s.single[v])
+				st.hist = append(st.hist, entry)
+				if trace != nil && entry.Kind != history.Silence {
+					rec.Heard[v] = entry
+				}
+				if s.counts[v] > 0 {
+					lastActive = round
+				}
+			case drip.Terminate:
+				st.terminated = true
+				st.doneLocal = len(st.hist)
+				st.hist = append(st.hist, history.Silent())
+				remaining--
+				if trace != nil {
+					rec.Terminated = append(rec.Terminated, v)
+				}
+				lastActive = round
+			default:
+				return nil, fmt.Errorf("radio: protocol returned invalid action %v for node %d", s.actions[v], v)
+			}
+		}
+
+		trace.addRound(rec)
+
+		// Reset the medium for the next round, touching only the entries the
+		// round's transmitters dirtied.
+		for _, w := range s.touched {
+			s.counts[w] = 0
+			s.single[w] = ""
+		}
+		s.touched = s.touched[:0]
+	}
+
+	return s.buildResult(lastActive+1, trace), nil
+}
+
+// buildResult assembles the reusable Result from the final node states.
+func (s *Simulator) buildResult(rounds int, trace *Trace) *Result {
+	n := len(s.states)
+	res := &s.res
+	res.Histories = arena.Grow(res.Histories, n)
+	res.WakeRound = arena.Grow(res.WakeRound, n)
+	res.Forced = arena.Grow(res.Forced, n)
+	res.DoneLocal = arena.Grow(res.DoneLocal, n)
+	res.GlobalRounds = rounds
+	res.Trace = trace
+	for v := range s.states {
+		res.Histories[v] = s.states[v].hist
+		res.WakeRound[v] = s.states[v].wakeRound
+		res.Forced[v] = s.states[v].forced
+		res.DoneLocal[v] = s.states[v].doneLocal
+	}
+	return res
+}
