@@ -6,8 +6,8 @@
 // wake-up tags), decide their feasibility with the paper's Classifier
 // algorithm, derive the dedicated canonical leader-election protocol for
 // feasible configurations, execute it on a faithful simulator of the radio
-// model (with a sequential and a goroutine-per-node engine), and regenerate
-// the repository's experiment tables.
+// model (one zero-alloc simulation core behind sequential and worker-pool
+// parallel engines), and regenerate the repository's experiment tables.
 //
 // A minimal end-to-end use:
 //
@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 
 	"anonradio/internal/baseline"
 	"anonradio/internal/config"
@@ -50,6 +51,12 @@ type Report = core.Report
 
 // Dedicated is a dedicated leader election algorithm for one feasible
 // configuration: the canonical DRIP plus its decision function.
+//
+// A Dedicated owns a pooled reusable simulator: sequential elections reuse
+// its buffers, so a Dedicated is not safe for concurrent Elect calls (give
+// each goroutine its own), and an election outcome's Result aliases the
+// pool — it is valid until the next election on the same Dedicated. Callers
+// that retain histories across elections must Clone them.
 type Dedicated = election.Dedicated
 
 // ElectionOutcome is the result of executing a leader election algorithm.
@@ -79,25 +86,63 @@ const (
 	HistoryNoise   = history.Noise
 )
 
-// EngineKind selects a simulation engine.
+// EngineKind selects a simulation engine. All engines produce bit-identical
+// histories (the property suite enforces it); they differ only in how the
+// per-round protocol computations are scheduled.
 type EngineKind string
 
 const (
 	// SequentialEngine is the deterministic single-threaded reference
 	// engine.
 	SequentialEngine EngineKind = "sequential"
-	// ConcurrentEngine is the goroutine-per-node engine.
+	// ParallelEngine shards the per-round protocol computations across a
+	// persistent worker pool on the zero-alloc simulator core.
+	ParallelEngine EngineKind = "parallel"
+	// ConcurrentEngine is the historical name of the concurrent execution
+	// path; it now selects the same worker-pool engine as ParallelEngine.
 	ConcurrentEngine EngineKind = "concurrent"
+	// GoroutinePerNodeEngine is the original coordinator that dedicates one
+	// goroutine to every node; it is kept as an independent semantic
+	// reference and is considerably slower than the worker-pool engine.
+	GoroutinePerNodeEngine EngineKind = "goroutine-per-node"
 )
+
+// EngineKinds lists every valid engine kind, in the order user-facing tools
+// present them.
+func EngineKinds() []EngineKind {
+	return []EngineKind{SequentialEngine, ParallelEngine, ConcurrentEngine, GoroutinePerNodeEngine}
+}
+
+// EngineList renders the valid engine kinds as a comma-separated string for
+// flag help and error messages.
+func EngineList() string {
+	kinds := EngineKinds()
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = string(k)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ValidateEngine checks that kind names a known engine ("" selects the
+// sequential default) and, if not, returns an error listing the valid kinds.
+func ValidateEngine(kind EngineKind) error {
+	_, err := engineFor(kind)
+	return err
+}
 
 func engineFor(kind EngineKind) (radio.Engine, error) {
 	switch kind {
 	case SequentialEngine, "":
 		return radio.Sequential{}, nil
+	case ParallelEngine:
+		return radio.Parallel{}, nil
 	case ConcurrentEngine:
 		return radio.Concurrent{}, nil
+	case GoroutinePerNodeEngine:
+		return radio.GoroutinePerNode{}, nil
 	default:
-		return nil, fmt.Errorf("anonradio: unknown engine %q", kind)
+		return nil, fmt.Errorf("anonradio: unknown engine %q (valid engines: %s)", kind, EngineList())
 	}
 }
 
@@ -179,7 +224,9 @@ var ErrInfeasible = election.ErrInfeasible
 
 // Elect classifies cfg, builds its dedicated algorithm, executes it on the
 // sequential engine and verifies the outcome (exactly one leader, the
-// designated node, within the round bound).
+// designated node, within the round bound). The outcome's Result aliases
+// the returned Dedicated's pooled simulator; see Dedicated for the lifetime
+// and concurrency contract.
 func Elect(cfg *Config) (*ElectionOutcome, *Dedicated, error) {
 	return ElectWith(cfg, SequentialEngine)
 }
@@ -344,29 +391,59 @@ func SurveyParallel(count, workers int, gen func(i int) *Config) (*FeasibilitySu
 // bound for the concurrent engine).
 type SimulationOptions = radio.Options
 
-// Simulator is a reusable sequential simulation engine bound to one
-// configuration: buffers (including the returned Result) are reused across
-// runs, making repeated simulations allocation-free in steady state. The
-// Result of a Run is valid until the next Run on the same Simulator.
+// Simulator is a reusable simulation engine bound to one configuration:
+// buffers (including the returned Result) are reused across runs, making
+// repeated simulations allocation-free in steady state. The Result of a Run
+// is valid until the next Run on the same Simulator. Its per-round protocol
+// step runs on a pluggable executor (inline, or a worker pool); all
+// executors produce bit-identical results.
 type Simulator = radio.Simulator
 
-// NewSimulator builds a reusable sequential engine for cfg.
+// NewSimulator builds a reusable single-threaded engine for cfg.
 func NewSimulator(cfg *Config) (*Simulator, error) { return radio.NewSimulator(cfg) }
 
+// NewParallelSimulator builds a reusable engine for cfg whose per-round
+// protocol computations are sharded across `workers` pool goroutines
+// (workers <= 0 selects GOMAXPROCS). Call Close when done to stop the pool.
+func NewParallelSimulator(cfg *Config, workers int) (*Simulator, error) {
+	return radio.NewParallelSimulator(cfg, workers)
+}
+
 // RunExperiments regenerates every experiment table (E1-E10) and writes them
-// to w. With quick=true a reduced parameter sweep is used.
+// to w. With quick=true a reduced parameter sweep is used. The election
+// experiments run on the sequential engine; use RunExperimentsOn to choose.
 func RunExperiments(w io.Writer, quick bool, seed int64) error {
-	return harness.RunAll(harness.Options{Quick: quick, Seed: seed}, w)
+	return RunExperimentsOn(w, quick, seed, SequentialEngine)
+}
+
+// RunExperimentsOn is RunExperiments with an explicit simulation engine for
+// the election experiments (E2-E4, E9). Tables are engine-independent; only
+// the wall-clock timings change.
+func RunExperimentsOn(w io.Writer, quick bool, seed int64, kind EngineKind) error {
+	eng, err := engineFor(kind)
+	if err != nil {
+		return err
+	}
+	return harness.RunAll(harness.Options{Quick: quick, Seed: seed, Engine: eng}, w)
 }
 
 // RunExperiment runs a single experiment by ID ("E1".."E10") and returns its
 // table.
 func RunExperiment(id string, quick bool, seed int64) (*ExperimentTable, error) {
+	return RunExperimentOn(id, quick, seed, SequentialEngine)
+}
+
+// RunExperimentOn is RunExperiment with an explicit simulation engine.
+func RunExperimentOn(id string, quick bool, seed int64, kind EngineKind) (*ExperimentTable, error) {
+	eng, err := engineFor(kind)
+	if err != nil {
+		return nil, err
+	}
 	exp, ok := harness.Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("anonradio: unknown experiment %q", id)
 	}
-	return exp.Run(harness.Options{Quick: quick, Seed: seed})
+	return exp.Run(harness.Options{Quick: quick, Seed: seed, Engine: eng})
 }
 
 // ExperimentIDs lists the available experiment identifiers in order.

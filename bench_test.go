@@ -231,9 +231,46 @@ func BenchmarkE8SequentialEngine(b *testing.B) {
 	}
 }
 
-func BenchmarkE8ConcurrentEngine(b *testing.B) {
-	for _, n := range []int{16, 32, 64} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchmarkEngine(b, radio.Concurrent{}, n) })
+// The worker-pool engine (the "concurrent" path since the executor-seam
+// refactor) and the goroutine-per-node coordinator it replaced, on identical
+// workloads. The acceptance bar of the refactor is pool < goroutine-per-node
+// from n=64 up.
+func BenchmarkE8ParallelEngine(b *testing.B) {
+	for _, n := range []int{16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchmarkEngine(b, radio.Parallel{}, n) })
+	}
+}
+
+func BenchmarkE8GoroutinePerNodeEngine(b *testing.B) {
+	for _, n := range []int{16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchmarkEngine(b, radio.GoroutinePerNode{}, n) })
+	}
+}
+
+// BenchmarkE8ParallelSimulatorSteadyState is the reusable-pool counterpart
+// of BenchmarkE8SimulatorSteadyState: one pooled simulator serving repeated
+// runs, no per-run construction cost.
+func BenchmarkE8ParallelSimulatorSteadyState(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := config.StaggeredClique(n)
+			sim, err := radio.NewParallelSimulator(cfg, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sim.Close()
+			var proto drip.Protocol = drip.BeepAt{Round: 1, StopAfter: 4}
+			if _, err := sim.Run(proto, radio.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(proto, radio.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -550,6 +587,79 @@ func BenchmarkE8SimulatorSteadyState(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- election pipeline: build latency and steady-state serving ----------------------
+
+// BenchmarkElectionBuild measures BuildDedicated end to end: lean turbo
+// classification, phase-table compilation, and the canonical run on the
+// pooled simulator.
+func BenchmarkElectionBuild(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := config.StaggeredClique(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := election.BuildDedicated(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkElectionSteadyState measures the pooled election hot path: one
+// dedicated algorithm serving repeated elections through ElectInto. The
+// companion test TestElectSteadyStateAllocs pins the 0 allocs/op exactly.
+func BenchmarkElectionSteadyState(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d, err := election.BuildDedicated(config.StaggeredClique(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var out radio.ElectionOutcome
+			if err := d.ElectInto(&out, radio.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.ElectInto(&out, radio.Options{}); err != nil {
+					b.Fatal(err)
+				}
+				if len(out.Leaders) != 1 {
+					b.Fatal("election failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMicroCanonicalActReference is the uncompiled matcher on the same
+// workload as BenchmarkMicroCanonicalAct, quantifying what the phase table
+// buys per call.
+func BenchmarkMicroCanonicalActReference(b *testing.B) {
+	cfg := config.LineFamilyG(4)
+	rep, err := core.Classify(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dg, err := canonical.New(rep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := radio.Sequential{}.Run(cfg, dg, radio.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := res.Histories[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dg.ActReference(h[:len(h)*2/3])
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	elect -config cfg.txt [-engine sequential|concurrent] [-trace]
+//	elect -config cfg.txt [-engine sequential|parallel|concurrent|goroutine-per-node] [-trace]
 package main
 
 import (
@@ -19,11 +19,18 @@ import (
 func main() {
 	var (
 		path     = flag.String("config", "", "configuration file (default: read standard input)")
-		engine   = flag.String("engine", "sequential", "simulation engine: sequential or concurrent")
+		engine   = flag.String("engine", "sequential", "simulation engine: "+anonradio.EngineList())
 		trace    = flag.Bool("trace", false, "print the round-by-round transcript of the election")
 		compiled = flag.String("compiled", "", "run a pre-compiled algorithm (JSON from cmd/compile) instead of re-deriving it")
 	)
 	flag.Parse()
+
+	// Validate the engine up front so a typo fails with the list of valid
+	// engines instead of surfacing mid-run after the classification work.
+	if err := anonradio.ValidateEngine(anonradio.EngineKind(*engine)); err != nil {
+		fmt.Fprintln(os.Stderr, "elect:", err)
+		os.Exit(2)
+	}
 
 	cfg, err := readConfig(*path)
 	if err != nil {

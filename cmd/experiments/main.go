@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only E3] [-o results.txt]
+//	experiments [-quick] [-seed N] [-only E3] [-engine parallel] [-o results.txt]
 package main
 
 import (
@@ -19,12 +19,19 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "run reduced parameter sweeps")
-		seed  = flag.Int64("seed", 1, "random seed for all workloads")
-		only  = flag.String("only", "", "run a single experiment (E1..E9)")
-		out   = flag.String("o", "", "output file (default: standard output)")
+		quick  = flag.Bool("quick", false, "run reduced parameter sweeps")
+		seed   = flag.Int64("seed", 1, "random seed for all workloads")
+		only   = flag.String("only", "", "run a single experiment (E1..E9)")
+		engine = flag.String("engine", "sequential", "simulation engine for the election experiments: "+anonradio.EngineList())
+		out    = flag.String("o", "", "output file (default: standard output)")
 	)
 	flag.Parse()
+
+	kind := anonradio.EngineKind(*engine)
+	if err := anonradio.ValidateEngine(kind); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -37,14 +44,14 @@ func main() {
 	}
 
 	if *only != "" {
-		table, err := anonradio.RunExperiment(*only, *quick, *seed)
+		table, err := anonradio.RunExperimentOn(*only, *quick, *seed, kind)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintln(w, table.String())
 		return
 	}
-	if err := anonradio.RunExperiments(w, *quick, *seed); err != nil {
+	if err := anonradio.RunExperimentsOn(w, *quick, *seed, kind); err != nil {
 		fatal(err)
 	}
 }

@@ -1,8 +1,9 @@
 // Concurrent network: execute the canonical leader election protocol with
-// the goroutine-per-node engine (every node of the radio network is a real
-// concurrent process synchronized round by round through the simulated
-// radio medium), and check that its behaviour is identical to the
-// deterministic sequential reference engine.
+// the concurrent engines — the worker-pool executor that shards the
+// per-round protocol computations across goroutines, and the legacy
+// goroutine-per-node coordinator (every node a real concurrent process
+// synchronized through the simulated radio medium) — and check that both
+// behave identically to the deterministic sequential reference engine.
 //
 // Run with:
 //
@@ -63,14 +64,23 @@ func main() {
 	}
 	concTime := time.Since(start)
 
-	identical := seqRes.GlobalRounds == concRes.GlobalRounds
+	start = time.Now()
+	gpnRes, err := anonradio.Simulate(dedicated, anonradio.GoroutinePerNodeEngine, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpnTime := time.Since(start)
+
+	identical := seqRes.GlobalRounds == concRes.GlobalRounds && seqRes.GlobalRounds == gpnRes.GlobalRounds
 	for v := 0; v < cfg.N() && identical; v++ {
-		identical = seqRes.Histories[v].Equal(concRes.Histories[v])
+		identical = seqRes.Histories[v].Equal(concRes.Histories[v]) &&
+			seqRes.Histories[v].Equal(gpnRes.Histories[v])
 	}
 
 	fmt.Printf("global rounds:        %d\n", seqRes.GlobalRounds)
 	fmt.Printf("sequential engine:    %v\n", seqTime.Round(time.Microsecond))
-	fmt.Printf("concurrent engine:    %v (one goroutine per node)\n", concTime.Round(time.Microsecond))
+	fmt.Printf("concurrent engine:    %v (worker-pool executor)\n", concTime.Round(time.Microsecond))
+	fmt.Printf("goroutine-per-node:   %v (legacy coordinator)\n", gpnTime.Round(time.Microsecond))
 	fmt.Printf("identical executions: %v\n\n", identical)
 
 	out, _, err := anonradio.ElectWith(cfg, anonradio.ConcurrentEngine)

@@ -1,0 +1,91 @@
+package anonradio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEngineKindsAndValidation(t *testing.T) {
+	for _, kind := range EngineKinds() {
+		if err := ValidateEngine(kind); err != nil {
+			t.Fatalf("%s should be a valid engine: %v", kind, err)
+		}
+	}
+	if err := ValidateEngine(""); err != nil {
+		t.Fatalf("empty kind should select the default: %v", err)
+	}
+	err := ValidateEngine("warp-drive")
+	if err == nil {
+		t.Fatalf("unknown engine should be rejected")
+	}
+	for _, kind := range EngineKinds() {
+		if !strings.Contains(err.Error(), string(kind)) {
+			t.Fatalf("error should list %q: %v", kind, err)
+		}
+	}
+}
+
+func TestElectWithEveryEngineKind(t *testing.T) {
+	cfg := SpanFamilyH(2)
+	want, _, err := Elect(cfg)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	for _, kind := range EngineKinds() {
+		out, d, err := ElectWith(cfg, kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if out.Leader() != want.Leader() || out.Rounds != want.Rounds {
+			t.Fatalf("%s: leader %d rounds %d, want %d/%d", kind, out.Leader(), out.Rounds, want.Leader(), want.Rounds)
+		}
+		if d.ExpectedLeader != out.Leader() {
+			t.Fatalf("%s: elected %d, designated %d", kind, out.Leader(), d.ExpectedLeader)
+		}
+	}
+	if _, _, err := ElectWith(cfg, "warp-drive"); err == nil {
+		t.Fatalf("unknown engine should be rejected")
+	}
+}
+
+func TestParallelSimulatorFacade(t *testing.T) {
+	cfg := StaggeredClique(12)
+	_, d, err := Elect(cfg)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	seq, err := Simulate(d, SequentialEngine, false)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	sim, err := NewParallelSimulator(cfg, 2)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	defer sim.Close()
+	res, err := sim.Run(d.DRIP, SimulationOptions{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if res.GlobalRounds != seq.GlobalRounds {
+		t.Fatalf("parallel simulator rounds %d, sequential %d", res.GlobalRounds, seq.GlobalRounds)
+	}
+	for v := 0; v < cfg.N(); v++ {
+		if !res.Histories[v].Equal(seq.Histories[v]) {
+			t.Fatalf("node %d diverged between executors", v)
+		}
+	}
+}
+
+func TestRunExperimentOnEngine(t *testing.T) {
+	table, err := RunExperimentOn("E4", true, 1, ParallelEngine)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(table.Rows) == 0 {
+		t.Fatalf("E4 produced no rows")
+	}
+	if _, err := RunExperimentOn("E4", true, 1, "warp-drive"); err == nil {
+		t.Fatalf("unknown engine should be rejected")
+	}
+}

@@ -51,6 +51,7 @@ func FromLists(sigma int, lists []core.List) (*DRIP, error) {
 			d.phaseEnds[j] = d.phaseEnds[j-1] + lists[j-1].NumClasses()*blockLen + sigma
 		}
 	}
+	d.table = d.compileTable()
 	return d, nil
 }
 

@@ -38,6 +38,11 @@ type DRIP struct {
 	// phaseEnds[j] is r_j, the local round in which phase P_j ends;
 	// phaseEnds[0] = r_0 = 0.
 	phaseEnds []int
+
+	// table is the compiled phase table; Act executes through it. The
+	// reference matching procedure remains available as ActReference and the
+	// property tests keep the two observationally identical.
+	table *PhaseTable
 }
 
 // New builds the canonical DRIP from a Classifier report. The report may
@@ -76,8 +81,44 @@ func (d *DRIP) phaseOf(i int) int {
 	return len(d.phaseEnds) - 1
 }
 
-// Act implements drip.Protocol.
+// Act implements drip.Protocol. It executes through the compiled phase
+// table: allocation-free array lookups instead of the reference matching
+// procedure (which survives as ActReference).
 func (d *DRIP) Act(h history.Vector) drip.Action {
+	return d.table.Act(h)
+}
+
+// Table returns the compiled phase table of the protocol.
+func (d *DRIP) Table() *PhaseTable { return d.table }
+
+// InstallTable installs a deserialized phase table as the protocol's
+// executing table, so artifacts that ship a table really execute it. The
+// table must validate structurally and be identical to the one compiled
+// from the protocol's own lists — a valid-but-different table would
+// silently execute a different protocol than the lists promise, breaking
+// the history-match decision derived from them.
+func (d *DRIP) InstallTable(pt *PhaseTable) error {
+	if pt == nil {
+		return fmt.Errorf("canonical: nil phase table")
+	}
+	if err := pt.Validate(); err != nil {
+		return err
+	}
+	if !pt.Equal(d.table) {
+		return fmt.Errorf("canonical: phase table does not match the protocol's lists")
+	}
+	// Install a private copy: the caller keeps ownership of pt (artifacts
+	// are routinely re-decoded or mutated), and post-install tampering must
+	// not flow into a validated, executing protocol.
+	d.table = pt.clone()
+	return nil
+}
+
+// ActReference is the paper-faithful executable form of the matching
+// procedure of Section 3.3.1, re-deriving the phase, block and transmission
+// class from the lists on every call. It is the specification the compiled
+// phase table is tested against.
+func (d *DRIP) ActReference(h history.Vector) drip.Action {
 	i := len(h) // current local round
 	j := d.phaseOf(i)
 	list := d.Lists[j-1]

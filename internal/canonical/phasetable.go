@@ -1,0 +1,311 @@
+package canonical
+
+import (
+	"fmt"
+
+	"anonradio/internal/drip"
+	"anonradio/internal/history"
+)
+
+// This file compiles a canonical DRIP into a PhaseTable: a flat, precomputed
+// execution plan that makes Act allocation-free and removes the per-call
+// triple searches of the reference matching procedure.
+//
+// The reference Act re-derives everything from the lists on every call: it
+// scans the phase ends to locate the current phase, divides the offset into
+// blocks, and matches the previous phase's history against list entries with
+// a Label.Find per round. The compiled form precomputes
+//
+//   - one RoundPlan per local round (phase number, and whether the round is
+//     a listen round, a terminate round, or the σ+1 transmit slot of a
+//     specific block), and
+//   - one expected-history row per list entry (the exact Kind every history
+//     position of the previous phase must carry for the entry to match),
+//
+// so executing the protocol is array indexing plus byte comparisons. The
+// table is built once in FromLists; Act consults it on every call and the
+// property tests check it is observationally identical to the reference
+// implementation on randomized configurations.
+
+// Expected-entry codes of a MatchRow, one per history position.
+const (
+	// ExpectSilence requires the ∅ entry.
+	ExpectSilence byte = iota
+	// ExpectMessage requires the canonical message "1" from a single
+	// transmitter.
+	ExpectMessage
+	// ExpectNoise requires a collision entry.
+	ExpectNoise
+)
+
+// RoundPlan describes one local round i of the compiled protocol.
+type RoundPlan struct {
+	// Phase is the phase P_j the round belongs to.
+	Phase int `json:"phase"`
+	// Block is 0 for a listen round, -1 for a terminate round, and b > 0
+	// when the round is the σ+1 transmit slot of block b: the node transmits
+	// iff its transmission block for the phase equals b.
+	Block int `json:"block"`
+}
+
+// MatchRow is the compiled form of one entry of a list L_j: the per-round
+// history expectations of the matching procedure, plus the transmission
+// block the matching node used in the previous phase.
+type MatchRow struct {
+	// OldClass is the transmission block of the previous phase that this
+	// entry's class descended from; a row is only compared when the node
+	// transmitted in that block.
+	OldClass int `json:"old_class"`
+	// Expect[t] is the required entry kind at history position Start+t,
+	// where Start is the PhaseMatch's first compared position.
+	Expect []byte `json:"expect"`
+}
+
+// PhaseMatch holds the compiled matching data of one phase boundary: how a
+// node derives its class (= transmission block) for phase j from its history
+// during phase j-1.
+type PhaseMatch struct {
+	// Start is the first history position compared: r_{j-2}+1, the first
+	// round of the previous phase's transmission blocks.
+	Start int `json:"start"`
+	// Rows[k-1] compiles entry k of L_j. Empty when the boundary cannot be
+	// crossed (a terminate list on either side), in which case matching
+	// yields 0.
+	Rows []MatchRow `json:"rows"`
+}
+
+// PhaseTable is the compiled execution plan of a canonical DRIP. It is a
+// pure lookup structure — safe for concurrent use by every node of a
+// simulation — and JSON-serializable, so compiled election artifacts can
+// embed it and deployed nodes can execute without recompiling.
+type PhaseTable struct {
+	// Sigma is the span σ the protocol was built for.
+	Sigma int `json:"sigma"`
+	// Plans[i-1] is the plan of local round i, for i in 1..TerminationRound.
+	Plans []RoundPlan `json:"plans"`
+	// Matches[j-2] is the matching data of the boundary into phase j, for
+	// j in 2..numPhases.
+	Matches []PhaseMatch `json:"matches"`
+}
+
+// compileTable builds the phase table of a DRIP whose Lists and phaseEnds
+// are already validated by FromLists.
+func (d *DRIP) compileTable() *PhaseTable {
+	blockLen := 2*d.Sigma + 1
+	pt := &PhaseTable{Sigma: d.Sigma}
+
+	// Round plans: replay the reference Act's round arithmetic once per
+	// local round instead of once per call.
+	term := d.TerminationRound()
+	pt.Plans = make([]RoundPlan, term)
+	for i := 1; i <= term; i++ {
+		j := d.phaseOf(i)
+		plan := RoundPlan{Phase: j}
+		list := d.Lists[j-1]
+		switch {
+		case list.Terminate:
+			plan.Block = -1
+		default:
+			offset := i - d.phaseEnds[j-1]
+			if offset <= list.NumClasses()*blockLen && (offset-1)%blockLen+1 == d.Sigma+1 {
+				plan.Block = (offset-1)/blockLen + 1
+			}
+		}
+		pt.Plans[i-1] = plan
+	}
+
+	// Matching rows: expand every list entry's label into the exact
+	// per-round expectations of historyMatchesLabel.
+	for jj := 2; jj <= len(d.Lists); jj++ {
+		cur := d.Lists[jj-1]  // L_jj
+		prev := d.Lists[jj-2] // L_{jj-1}
+		pm := PhaseMatch{Start: d.phaseEnds[jj-2] + 1}
+		if !cur.Terminate && !prev.Terminate {
+			window := prev.NumClasses() * blockLen
+			pm.Rows = make([]MatchRow, len(cur.Entries))
+			for k, entry := range cur.Entries {
+				row := MatchRow{OldClass: entry.OldClass, Expect: make([]byte, window)}
+				for a := 1; a <= prev.NumClasses(); a++ {
+					for b := 1; b <= blockLen; b++ {
+						pos := (a-1)*blockLen + b - 1
+						if triple, found := entry.Label.Find(a, b); found {
+							if triple.Multi {
+								row.Expect[pos] = ExpectNoise
+							} else {
+								row.Expect[pos] = ExpectMessage
+							}
+						}
+					}
+				}
+				pm.Rows[k] = row
+			}
+		}
+		pt.Matches = append(pt.Matches, pm)
+	}
+	return pt
+}
+
+// Act executes the compiled protocol: the phase-table twin of the reference
+// (*DRIP).ActReference. It performs no heap allocations.
+func (pt *PhaseTable) Act(h history.Vector) drip.Action {
+	i := len(h) // current local round
+	if i == 0 {
+		// The protocol contract guarantees at least the wake-up entry H[0],
+		// but the reference matcher answers listen on an empty history and
+		// the compiled form must agree observationally.
+		return drip.ListenAction()
+	}
+	if i > len(pt.Plans) {
+		// Rounds beyond the final phase map to the final phase, which is
+		// always the terminate phase.
+		return drip.TerminateAction()
+	}
+	plan := &pt.Plans[i-1]
+	switch {
+	case plan.Block < 0:
+		return drip.TerminateAction()
+	case plan.Block == 0:
+		return drip.ListenAction()
+	}
+	if pt.transmissionBlock(h, plan.Phase) == plan.Block {
+		return drip.TransmitAction(Message)
+	}
+	return drip.ListenAction()
+}
+
+// TransmissionBlock returns the transmission block the node with history h
+// uses in phase j (0 when no entry matches); it is the compiled counterpart
+// of (*DRIP).TransmissionBlock.
+func (pt *PhaseTable) TransmissionBlock(h history.Vector, j int) int {
+	return pt.transmissionBlock(h, j)
+}
+
+func (pt *PhaseTable) transmissionBlock(h history.Vector, j int) int {
+	tb := 1
+	for jj := 2; jj <= j; jj++ {
+		tb = pt.Matches[jj-2].match(h, tb)
+		if tb == 0 {
+			return 0
+		}
+	}
+	return tb
+}
+
+// match finds the 1-based row whose OldClass equals prevTB and whose
+// expectations the history satisfies, or 0.
+func (pm *PhaseMatch) match(h history.Vector, prevTB int) int {
+	for k := range pm.Rows {
+		row := &pm.Rows[k]
+		if row.OldClass != prevTB {
+			continue
+		}
+		if pm.rowMatches(h, row) {
+			return k + 1
+		}
+	}
+	return 0
+}
+
+func (pm *PhaseMatch) rowMatches(h history.Vector, row *MatchRow) bool {
+	if pm.Start+len(row.Expect) > len(h) {
+		// The reference procedure fails a row as soon as a compared round
+		// lies beyond the history; positions are contiguous, so one length
+		// check replaces the per-round bound checks.
+		return false
+	}
+	for t, exp := range row.Expect {
+		e := &h[pm.Start+t]
+		switch exp {
+		case ExpectMessage:
+			if e.Kind != history.Message || e.Msg != Message {
+				return false
+			}
+		case ExpectNoise:
+			if e.Kind != history.Noise {
+				return false
+			}
+		default:
+			if e.Kind != history.Silence {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether two phase tables are identical. It is used to
+// validate embedded tables of compiled artifacts against a recompilation
+// from the artifact's lists.
+func (pt *PhaseTable) Equal(o *PhaseTable) bool {
+	if pt == nil || o == nil {
+		return pt == o
+	}
+	if pt.Sigma != o.Sigma || len(pt.Plans) != len(o.Plans) || len(pt.Matches) != len(o.Matches) {
+		return false
+	}
+	for i := range pt.Plans {
+		if pt.Plans[i] != o.Plans[i] {
+			return false
+		}
+	}
+	for i := range pt.Matches {
+		a, b := &pt.Matches[i], &o.Matches[i]
+		if a.Start != b.Start || len(a.Rows) != len(b.Rows) {
+			return false
+		}
+		for k := range a.Rows {
+			if a.Rows[k].OldClass != b.Rows[k].OldClass || string(a.Rows[k].Expect) != string(b.Rows[k].Expect) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// clone returns a deep copy of the table.
+func (pt *PhaseTable) clone() *PhaseTable {
+	c := &PhaseTable{
+		Sigma: pt.Sigma,
+		Plans: append([]RoundPlan(nil), pt.Plans...),
+	}
+	c.Matches = make([]PhaseMatch, len(pt.Matches))
+	for i, pm := range pt.Matches {
+		cm := PhaseMatch{Start: pm.Start, Rows: make([]MatchRow, len(pm.Rows))}
+		for k, row := range pm.Rows {
+			cm.Rows[k] = MatchRow{OldClass: row.OldClass, Expect: append([]byte(nil), row.Expect...)}
+		}
+		c.Matches[i] = cm
+	}
+	return c
+}
+
+// Validate checks the structural invariants a deserialized table must hold
+// before it may drive executions: plan phases in range, transmit blocks
+// consistent with the matching rows, expectation codes valid.
+func (pt *PhaseTable) Validate() error {
+	if pt.Sigma < 0 {
+		return fmt.Errorf("canonical: phase table has negative span %d", pt.Sigma)
+	}
+	numPhases := len(pt.Matches) + 1
+	for i, plan := range pt.Plans {
+		if plan.Phase < 1 || plan.Phase > numPhases {
+			return fmt.Errorf("canonical: round %d plan names phase %d of %d", i+1, plan.Phase, numPhases)
+		}
+		if plan.Block < -1 {
+			return fmt.Errorf("canonical: round %d plan has invalid block %d", i+1, plan.Block)
+		}
+	}
+	for j, pm := range pt.Matches {
+		if pm.Start < 0 {
+			return fmt.Errorf("canonical: phase %d match starts at %d", j+2, pm.Start)
+		}
+		for k, row := range pm.Rows {
+			for _, exp := range row.Expect {
+				if exp > ExpectNoise {
+					return fmt.Errorf("canonical: phase %d row %d has invalid expectation %d", j+2, k+1, exp)
+				}
+			}
+		}
+	}
+	return nil
+}

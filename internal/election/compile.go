@@ -34,6 +34,12 @@ type Compiled struct {
 	LocalRounds int `json:"local_rounds"`
 	// RoundBound is the global-round upper bound of the election.
 	RoundBound int `json:"round_bound"`
+	// PhaseTable is the compiled execution plan of the protocol, embedded so
+	// deployed nodes can execute without recompiling the lists. It is
+	// optional in the artifact: absent (older artifacts), Load recompiles it
+	// from the blueprint; present, Load validates it against a
+	// recompilation before accepting it.
+	PhaseTable *canonical.PhaseTable `json:"phase_table,omitempty"`
 }
 
 // Compile returns the serializable form of the dedicated algorithm.
@@ -46,6 +52,7 @@ func (d *Dedicated) Compile() *Compiled {
 		ExpectedLeader: d.ExpectedLeader,
 		LocalRounds:    d.LocalRounds,
 		RoundBound:     d.RoundBound,
+		PhaseTable:     d.DRIP.Table(),
 	}
 }
 
@@ -74,6 +81,15 @@ func Load(c *Compiled, cfg *config.Config) (*Dedicated, error) {
 	dg, err := canonical.FromLists(c.Blueprint.Sigma, c.Blueprint.Lists)
 	if err != nil {
 		return nil, err
+	}
+	if c.PhaseTable != nil {
+		// Install the artifact's own table as the executing one. InstallTable
+		// validates it structurally and against a recompilation from the
+		// lists: a tampered or stale table would otherwise silently execute a
+		// different protocol than the blueprint promises.
+		if err := dg.InstallTable(c.PhaseTable); err != nil {
+			return nil, fmt.Errorf("election: embedded phase table rejected: %w", err)
+		}
 	}
 	if cfg.Span() != c.Blueprint.Sigma {
 		return nil, fmt.Errorf("election: compiled algorithm was built for span %d but the configuration has span %d",

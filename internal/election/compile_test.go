@@ -94,3 +94,39 @@ func TestUnmarshalCompiledErrors(t *testing.T) {
 		t.Fatalf("invalid JSON should error")
 	}
 }
+
+func TestLoadInstallsEmbeddedPhaseTable(t *testing.T) {
+	cfg := config.LineFamilyG(2)
+	d, err := BuildDedicated(cfg)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	c, err := UnmarshalCompiled(data)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if c.PhaseTable == nil {
+		t.Fatalf("compiled artifact should embed the phase table")
+	}
+	loaded, err := Load(c, cfg)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	// The artifact's table must be the executing one (installed as a
+	// private copy, not a silent recompilation and not an alias).
+	if !loaded.DRIP.Table().Equal(c.PhaseTable) {
+		t.Fatalf("Load should install the embedded phase table")
+	}
+	c.PhaseTable.Plans[0].Phase = 42
+	if loaded.DRIP.Table().Plans[0].Phase == 42 {
+		t.Fatalf("post-load artifact mutation must not reach the installed table")
+	}
+	// A tampered table is rejected on the next load.
+	if _, err := Load(c, cfg); err == nil {
+		t.Fatalf("tampered phase table should be rejected")
+	}
+}

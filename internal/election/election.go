@@ -41,15 +41,42 @@ type Dedicated struct {
 	// whole election: every node is awake by round σ and terminates
 	// LocalRounds rounds later.
 	RoundBound int
+
+	// sim is the pooled reusable simulator bound to Config. It executes the
+	// build-time canonical run and every sequential Elect, so repeated
+	// elections on one Dedicated reuse all simulation buffers. Because of
+	// that pooling, a Dedicated is not safe for concurrent Elect calls.
+	sim *radio.Simulator
+}
+
+// simulator returns the pooled simulator, creating it on first use (loaded
+// compiled artifacts start without one).
+func (d *Dedicated) simulator() (*radio.Simulator, error) {
+	if d.sim == nil {
+		sim, err := radio.NewSimulator(d.Config)
+		if err != nil {
+			return nil, err
+		}
+		d.sim = sim
+	}
+	return d.sim, nil
 }
 
 // BuildDedicated classifies cfg and, if it is feasible, constructs the
 // dedicated leader election algorithm for it. The decision function is the
 // history-match function of Lemma 3.11: it elects exactly the node whose
 // complete history equals the designated leader's history in the canonical
-// execution, which is computed here with the sequential reference engine.
+// execution, which is computed here on the dedicated algorithm's pooled
+// simulator.
+//
+// The classification runs in the turbo engine's lean mode: building the
+// algorithm needs only the verdict, leader and lists, not the per-iteration
+// snapshots (Report.Iterations stays correct on lean reports via the Stats
+// counter, and VerifyCorrespondence re-derives snapshots on demand). Callers
+// that want the full partition evolution attached should classify themselves
+// and use BuildFromReport.
 func BuildDedicated(cfg *config.Config) (*Dedicated, error) {
-	report, err := core.Classify(cfg)
+	report, err := core.ClassifyTurbo(cfg, core.ClassifyOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -76,8 +103,13 @@ func buildFromReport(report *core.Report) (*Dedicated, error) {
 	cfg := report.Config
 
 	// Determine the designated leader's complete history by simulating the
-	// canonical DRIP on the configuration with the reference engine.
-	res, err := radio.Sequential{}.Run(cfg, dg, radio.Options{})
+	// canonical DRIP on a reusable simulator; the simulator then stays
+	// attached to the Dedicated and serves its Elect calls.
+	sim, err := radio.NewSimulator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(dg, radio.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("election: canonical DRIP simulation failed: %w", err)
 	}
@@ -104,17 +136,72 @@ func buildFromReport(report *core.Report) (*Dedicated, error) {
 		ExpectedLeader: leader,
 		LocalRounds:    dg.TerminationRound(),
 		RoundBound:     cfg.Span() + dg.TerminationRound() + 1,
+		sim:            sim,
 	}
 	return d, nil
 }
 
 // Elect executes the dedicated algorithm on its configuration with the given
-// engine and returns the outcome.
+// engine and returns the outcome. A nil or Sequential engine runs on the
+// algorithm's pooled simulator, so repeated elections reuse every simulation
+// buffer; the outcome's Result then points into those buffers and is valid
+// until the next run on this Dedicated. Other engines (Parallel, Concurrent,
+// GoroutinePerNode) execute a one-shot run as before.
 func (d *Dedicated) Elect(engine radio.Engine, opts radio.Options) (*radio.ElectionOutcome, error) {
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = d.RoundBound + 1
 	}
+	if engine == nil {
+		engine = radio.Sequential{}
+	}
+	if _, pooled := engine.(radio.Sequential); pooled && !opts.RecordTrace {
+		out := &radio.ElectionOutcome{}
+		if err := d.electInto(out, opts); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	return radio.RunElection(engine, d.Config, d.Algorithm, opts)
+}
+
+// ElectInto is the steady-state serving path: it runs the election on the
+// pooled simulator and reuses out's buffers, so after a warm-up call the
+// whole round loop — canonical Act through the compiled phase table, the
+// dirty-list medium, the history-match decision — performs zero heap
+// allocations (TestElectSteadyStateAllocs pins this). The outcome's Result
+// aliases the pooled simulator and is valid until the next run on this
+// Dedicated.
+func (d *Dedicated) ElectInto(out *radio.ElectionOutcome, opts radio.Options) error {
+	if out == nil {
+		return fmt.Errorf("election: nil outcome")
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = d.RoundBound + 1
+	}
+	return d.electInto(out, opts)
+}
+
+func (d *Dedicated) electInto(out *radio.ElectionOutcome, opts radio.Options) error {
+	if d.Algorithm.Protocol == nil || d.Algorithm.Decision == nil {
+		return fmt.Errorf("election: incomplete algorithm %q", d.Algorithm.Name)
+	}
+	sim, err := d.simulator()
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(d.Algorithm.Protocol, opts)
+	if err != nil {
+		return err
+	}
+	out.Result = res
+	out.Rounds = res.GlobalRounds
+	out.Leaders = out.Leaders[:0]
+	for v := 0; v < d.Config.N(); v++ {
+		if d.Algorithm.Decision.Decide(res.Histories[v]) == 1 {
+			out.Leaders = append(out.Leaders, v)
+		}
+	}
+	return nil
 }
 
 // Verify checks that an election outcome is correct for this dedicated
@@ -141,13 +228,26 @@ func (d *Dedicated) Verify(out *radio.ElectionOutcome) error {
 // every pair of nodes, the nodes are in the same equivalence class after
 // iteration j-1 of the Classifier (class index vCLASS,j) if and only if
 // their histories agree up to local round r_{j-1}.
+//
+// The check needs the per-iteration snapshots. When the attached report is
+// lean (BuildDedicated classifies without snapshots), the configuration is
+// re-classified with snapshot recording here — the verification path pays
+// for the history it inspects, the election hot path does not.
 func (d *Dedicated) VerifyCorrespondence(res *radio.Result) error {
 	if d.Report == nil {
 		return fmt.Errorf("election: no classifier report attached (algorithm loaded from a compiled artifact)")
 	}
+	report := d.Report
+	if len(report.Snapshots) <= d.DRIP.Phases()-1 {
+		full, err := core.ClassifyTurbo(d.Config, core.ClassifyOptions{RecordSnapshots: true})
+		if err != nil {
+			return fmt.Errorf("election: re-classifying for snapshot history: %w", err)
+		}
+		report = full
+	}
 	n := d.Config.N()
 	for j := 1; j <= d.DRIP.Phases(); j++ {
-		snap := d.Report.Snapshots[j-1]
+		snap := report.Snapshots[j-1]
 		upTo := d.DRIP.PhaseEnd(j - 1)
 		for v := 0; v < n; v++ {
 			for w := v + 1; w < n; w++ {

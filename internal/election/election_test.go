@@ -12,7 +12,7 @@ import (
 	"anonradio/internal/radio"
 )
 
-var engines = []radio.Engine{radio.Sequential{}, radio.Concurrent{}}
+var engines = []radio.Engine{radio.Sequential{}, radio.Parallel{}, radio.Concurrent{}, radio.GoroutinePerNode{}}
 
 func buildDedicated(t *testing.T, cfg *config.Config) *Dedicated {
 	t.Helper()
@@ -390,5 +390,86 @@ func TestPropertyEnginesAgreeOnElection(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatalf("engines disagree on election outcomes: %v", err)
+	}
+}
+
+func TestBuildDedicatedLeanReportInterplay(t *testing.T) {
+	// BuildDedicated classifies in lean mode: the attached report keeps only
+	// the final snapshot, yet Iterations() must still report the Partitioner
+	// call count (via the Stats counter) and VerifyCorrespondence must
+	// re-derive the snapshot history on demand.
+	cfg := config.StaggeredClique(8)
+	full, err := core.Classify(cfg)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	d := buildDedicated(t, cfg)
+	if len(d.Report.Snapshots) > 1 {
+		t.Fatalf("BuildDedicated should attach a lean report, got %d snapshots", len(d.Report.Snapshots))
+	}
+	if got, want := d.Report.Iterations(), full.Iterations(); got != want {
+		t.Fatalf("lean report Iterations() = %d, full classification = %d", got, want)
+	}
+	if d.Report.Leader != full.Leader || d.Report.Feasible() != full.Feasible() {
+		t.Fatalf("lean report disagrees with the full classification")
+	}
+	out, err := d.Elect(radio.Sequential{}, radio.Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := d.Verify(out); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := d.VerifyCorrespondence(out.Result); err != nil {
+		t.Fatalf("correspondence on a lean-report build: %v", err)
+	}
+}
+
+// TestElectSteadyStateAllocs is the acceptance check for the pooled election
+// hot path: once the dedicated algorithm's simulator and outcome are warm, a
+// complete election — phase-table Act calls, dirty-list medium, decision
+// scan — performs zero heap allocations.
+func TestElectSteadyStateAllocs(t *testing.T) {
+	d := buildDedicated(t, config.StaggeredClique(16))
+	var out radio.ElectionOutcome
+	run := func() {
+		if err := d.ElectInto(&out, radio.Options{}); err != nil {
+			t.Fatalf("%v", err)
+		}
+		if len(out.Leaders) != 1 || out.Leaders[0] != d.ExpectedLeader {
+			t.Fatalf("steady-state election failed: %v", out.Leaders)
+		}
+	}
+	run() // warm the simulator buffers and the leaders slice
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("steady-state election allocates %.1f times, want 0", allocs)
+	}
+	if err := d.ElectInto(nil, radio.Options{}); err == nil {
+		t.Fatalf("nil outcome should be rejected")
+	}
+}
+
+func TestElectPooledMatchesOneShotEngines(t *testing.T) {
+	// The pooled sequential path and every one-shot engine must agree on the
+	// leader and round count; the pooled outcome's Result must stay usable
+	// until the next run.
+	d := buildDedicated(t, config.LineFamilyG(3))
+	pooled, err := d.Elect(radio.Sequential{}, radio.Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	leader, rounds := pooled.Leader(), pooled.Rounds
+	hist := pooled.Result.Histories[leader].Clone()
+	for _, e := range []radio.Engine{radio.Parallel{}, radio.Concurrent{}, radio.GoroutinePerNode{}} {
+		out, err := radio.RunElection(e, d.Config, d.Algorithm, radio.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if out.Leader() != leader || out.Rounds != rounds {
+			t.Fatalf("%s: leader %d rounds %d, pooled got %d/%d", e.Name(), out.Leader(), out.Rounds, leader, rounds)
+		}
+		if !out.Result.Histories[leader].Equal(hist) {
+			t.Fatalf("%s: leader history diverged from the pooled run", e.Name())
+		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+
+	"anonradio/internal/radio"
 )
 
 // Options control the scale of the experiment sweeps.
@@ -17,6 +19,20 @@ type Options struct {
 	// Trials is the number of repetitions for randomized measurements; zero
 	// selects a per-experiment default.
 	Trials int
+	// Engine is the simulation engine the election experiments (E2-E4, E9)
+	// run on; nil selects the sequential reference engine. Results are
+	// engine-independent (all engines produce bit-identical histories; E8
+	// verifies it), only the wall-clock changes.
+	Engine radio.Engine
+}
+
+// engine returns the configured simulation engine, defaulting to the
+// sequential reference.
+func (o Options) engine() radio.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return radio.Sequential{}
 }
 
 func (o Options) rng() *rand.Rand {

@@ -162,7 +162,7 @@ func TestE8Engines(t *testing.T) {
 		t.Fatalf("%v", err)
 	}
 	for _, row := range table.Rows {
-		if row[6] != "true" {
+		if row[7] != "true" {
 			t.Fatalf("engines diverged: %v", row)
 		}
 	}

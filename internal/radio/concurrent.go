@@ -9,10 +9,28 @@ import (
 	"anonradio/internal/history"
 )
 
-// Concurrent is the goroutine-per-node simulation engine. Each node of the
-// configuration is a long-lived goroutine that owns its history vector and
-// computes its protocol actions; a coordinator implements the shared radio
-// medium and the global round barrier.
+// Concurrent is the concurrency-enabled engine, kept under its historical
+// name: since the executor-seam refactor it is a thin adapter over the
+// zero-alloc Simulator core with the worker-pool executor (see Parallel).
+// The goroutine-per-node coordinator it used to be survives as
+// GoroutinePerNode, retained as a semantic reference for differential tests
+// and as the baseline the engine benchmarks compare against.
+type Concurrent struct{}
+
+// Name implements Engine.
+func (Concurrent) Name() string { return "concurrent" }
+
+// Run implements Engine by delegating to the worker-pool Parallel engine;
+// Options.Workers bounds the pool size as it used to bound the number of
+// runnable node goroutines.
+func (Concurrent) Run(cfg *config.Config, proto drip.Protocol, opts Options) (*Result, error) {
+	return Parallel{}.Run(cfg, proto, opts)
+}
+
+// GoroutinePerNode is the original goroutine-per-node simulation engine.
+// Each node of the configuration is a long-lived goroutine that owns its
+// history vector and computes its protocol actions; a coordinator implements
+// the shared radio medium and the global round barrier.
 //
 // Per global round the coordinator:
 //
@@ -23,12 +41,17 @@ import (
 //  3. delivers each active node its perception so it can extend its history;
 //  4. spawns goroutines for nodes that woke up this round.
 //
-// The semantics are identical to the Sequential engine; the test suite checks
-// bit-identical histories on randomized workloads.
-type Concurrent struct{}
+// The per-round channel traffic (two operations per node per round) and the
+// per-node goroutine state make this engine allocate on every round, which
+// is why the worker-pool Parallel engine replaced it as the concurrent
+// execution path. It is kept because it exercises the model semantics
+// through a completely independent mechanism: the test suite checks
+// bit-identical histories against both Simulator-based engines on randomized
+// workloads.
+type GoroutinePerNode struct{}
 
 // Name implements Engine.
-func (Concurrent) Name() string { return "concurrent" }
+func (GoroutinePerNode) Name() string { return "goroutine-per-node" }
 
 // nodeCmd is the coordinator->node message starting one local round.
 type nodeCmd struct{}
@@ -98,7 +121,7 @@ type concMeta struct {
 }
 
 // Run implements Engine.
-func (Concurrent) Run(cfg *config.Config, proto drip.Protocol, opts Options) (*Result, error) {
+func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Options) (*Result, error) {
 	if err := validate(cfg, proto); err != nil {
 		return nil, err
 	}

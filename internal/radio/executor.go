@@ -1,0 +1,128 @@
+package radio
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// An Executor is the step-execution seam of the Simulator: it schedules the
+// protocol-action step of one global round (the per-node Act calls) over the
+// nodes. A node's action is a pure function of that node's own history, so
+// every schedule — an inline loop, or contiguous shards on a worker pool —
+// produces bit-identical actions; the seam only changes how fast the step
+// runs, never what it computes. The engine-equivalence property tests
+// enforce exactly that.
+//
+// An Executor is plugged into a Simulator at construction time
+// (NewSimulator, NewParallelSimulator) and is owned by that simulator
+// afterwards; Simulator.Close releases it.
+type Executor interface {
+	// act computes the actions of one global round by invoking
+	// (*Simulator).actRange over a partition of [0, n).
+	act(s *Simulator, round, n int)
+	// Name identifies the executor in engine names and reports.
+	Name() string
+	// Close releases executor resources. It is a no-op for the inline
+	// executor; the pool executor stops its worker goroutines.
+	Close()
+}
+
+// inlineExecutor runs the action step as a plain loop on the calling
+// goroutine. It is the executor behind NewSimulator and the Sequential
+// engine.
+type inlineExecutor struct{}
+
+// NewInlineExecutor returns the single-threaded executor: the action step is
+// one in-order loop on the calling goroutine.
+func NewInlineExecutor() Executor { return inlineExecutor{} }
+
+func (inlineExecutor) act(s *Simulator, round, n int) { s.actRange(round, 0, n) }
+
+// Name implements Executor.
+func (inlineExecutor) Name() string { return "inline" }
+
+// Close implements Executor.
+func (inlineExecutor) Close() {}
+
+// poolJob is one shard of an action step handed to a pool worker.
+type poolJob struct {
+	s      *Simulator
+	round  int
+	lo, hi int
+}
+
+// poolExecutor shards the action step across a persistent pool of worker
+// goroutines. Unlike the retired goroutine-per-node coordinator it performs
+// a constant number of channel operations per round (two per worker, not two
+// per node), keeps no per-node goroutine state, and allocates nothing in
+// steady state: workers live for the executor's lifetime and every job is a
+// value sent over a buffered channel.
+type poolExecutor struct {
+	jobs []chan poolJob
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewPoolExecutor returns an executor that shards the action step over
+// `workers` persistent goroutines; workers <= 0 selects GOMAXPROCS. The
+// executor must be released with Close (or Simulator.Close) once its
+// simulator is no longer needed.
+func NewPoolExecutor(workers int) Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &poolExecutor{jobs: make([]chan poolJob, workers)}
+	for i := range p.jobs {
+		ch := make(chan poolJob, 1)
+		p.jobs[i] = ch
+		go p.worker(ch)
+	}
+	return p
+}
+
+func (p *poolExecutor) worker(ch chan poolJob) {
+	for job := range ch {
+		job.s.actRange(job.round, job.lo, job.hi)
+		p.wg.Done()
+	}
+}
+
+func (p *poolExecutor) act(s *Simulator, round, n int) {
+	workers := len(p.jobs)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		s.actRange(round, 0, n)
+		return
+	}
+	// One contiguous shard per worker: disjoint index ranges, so workers
+	// never write the same slice element and results are schedule-independent.
+	chunk := (n + workers - 1) / workers
+	used := (n + chunk - 1) / chunk
+	p.wg.Add(used)
+	i := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		p.jobs[i] <- poolJob{s: s, round: round, lo: lo, hi: hi}
+		i++
+	}
+	p.wg.Wait()
+}
+
+// Name implements Executor.
+func (p *poolExecutor) Name() string { return fmt.Sprintf("pool-%d", len(p.jobs)) }
+
+// Close implements Executor. It stops the worker goroutines; calling it more
+// than once is safe.
+func (p *poolExecutor) Close() {
+	p.once.Do(func() {
+		for _, ch := range p.jobs {
+			close(ch)
+		}
+	})
+}

@@ -23,10 +23,14 @@
 //     neighbours transmit records noise as H[0];
 //   - the history entry of the termination round is silence.
 //
-// Two engines are provided: Sequential (deterministic, single-threaded) and
-// Concurrent (one goroutine per node with a barrier-synchronized coordinator
-// acting as the shared radio medium). They implement identical semantics and
-// the tests assert bit-identical histories.
+// All engines are thin adapters over one simulation core, the reusable
+// zero-alloc Simulator, whose protocol-action step runs through a pluggable
+// Executor: Sequential (deterministic, single-threaded, the reference),
+// Parallel (worker-pool executor) and Concurrent (the historical name, now
+// an alias for the worker-pool path). GoroutinePerNode is the original
+// goroutine-per-node coordinator, retained as an independent semantic
+// reference. All implement identical semantics and the tests assert
+// bit-identical histories across every engine.
 package radio
 
 import (
@@ -54,8 +58,11 @@ type Options struct {
 	MaxRounds int
 	// RecordTrace enables collection of a per-round Trace in the Result.
 	RecordTrace bool
-	// Workers bounds the number of node goroutines that the concurrent
-	// engine keeps runnable at once. Zero means one goroutine per node.
+	// Workers bounds the parallelism of the concurrent engines: the pool
+	// size for Parallel/Concurrent, and the number of node goroutines that
+	// the legacy GoroutinePerNode engine keeps runnable at once. Zero means
+	// the engine's default (GOMAXPROCS for the pool, one goroutine per node
+	// for the legacy coordinator).
 	Workers int
 }
 

@@ -13,10 +13,13 @@ import (
 	"anonradio/internal/history"
 )
 
-var engines = []Engine{Sequential{}, Concurrent{}}
+var engines = []Engine{Sequential{}, Parallel{}, Concurrent{}, GoroutinePerNode{}}
 
 func TestEngineNames(t *testing.T) {
 	if (Sequential{}).Name() != "sequential" || (Concurrent{}).Name() != "concurrent" {
+		t.Fatalf("engine names wrong")
+	}
+	if (Parallel{}).Name() != "parallel" || (GoroutinePerNode{}).Name() != "goroutine-per-node" {
 		t.Fatalf("engine names wrong")
 	}
 }
@@ -420,37 +423,151 @@ func randomProtocol(seed int64) drip.Protocol {
 	})
 }
 
+// sameOutcome reports whether b reproduced a bit-for-bit (histories, wake
+// rounds, forced flags, termination rounds, global round count).
+func sameOutcome(a, b *Result, n int) bool {
+	if a.GlobalRounds != b.GlobalRounds {
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if !a.Histories[v].Equal(b.Histories[v]) {
+			return false
+		}
+		if a.WakeRound[v] != b.WakeRound[v] ||
+			a.Forced[v] != b.Forced[v] ||
+			a.DoneLocal[v] != b.DoneLocal[v] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestPropertyEnginesProduceIdenticalHistories(t *testing.T) {
-	f := func(seed int64, sz, span uint8) bool {
+	// Every engine — the inline reference, the worker-pool executor (both
+	// under its own name and the historical "concurrent" alias, and at a
+	// randomized worker count), and the legacy goroutine-per-node
+	// coordinator — must reproduce the sequential execution bit for bit on
+	// randomized configurations.
+	f := func(seed int64, sz, span, workers uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := int(sz%12) + 2
 		cfg := config.Random(n, 0.3, config.UniformRandomTags{Span: int(span % 6)}, rng)
 		proto := randomProtocol(seed)
-		seqRes, err1 := Sequential{}.Run(cfg, proto, Options{MaxRounds: 2000})
-		concRes, err2 := Concurrent{}.Run(cfg, proto, Options{MaxRounds: 2000})
-		if (err1 == nil) != (err2 == nil) {
-			return false
+		opts := Options{MaxRounds: 2000}
+		seqRes, err1 := Sequential{}.Run(cfg, proto, opts)
+		candidates := []Engine{
+			Parallel{},
+			Parallel{Workers: int(workers%4) + 1},
+			Concurrent{},
+			GoroutinePerNode{},
 		}
-		if err1 != nil {
-			return true
-		}
-		if seqRes.GlobalRounds != concRes.GlobalRounds {
-			return false
-		}
-		for v := 0; v < n; v++ {
-			if !seqRes.Histories[v].Equal(concRes.Histories[v]) {
+		for _, e := range candidates {
+			res, err2 := e.Run(cfg, proto, opts)
+			if (err1 == nil) != (err2 == nil) {
 				return false
 			}
-			if seqRes.WakeRound[v] != concRes.WakeRound[v] ||
-				seqRes.Forced[v] != concRes.Forced[v] ||
-				seqRes.DoneLocal[v] != concRes.DoneLocal[v] {
+			if err1 != nil {
+				continue
+			}
+			if !sameOutcome(seqRes, res, n) {
 				return false
 			}
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatalf("engine equivalence violated: %v", err)
+	}
+}
+
+// assignedProtocols draws a deterministic heterogeneous protocol assignment:
+// every node runs a differently-seeded variant of the randomized protocol.
+func assignedProtocols(seed int64, n int) []drip.Protocol {
+	protos := make([]drip.Protocol, n)
+	for v := range protos {
+		protos[v] = randomProtocol(seed + int64(v)*31)
+	}
+	return protos
+}
+
+// TestPropertyRunProtocolsExecutorsAgree extends the equivalence property to
+// heterogeneous workloads: RunProtocols on the inline executor, on pooled
+// executors of randomized width, and with reused simulators must all produce
+// bit-identical results.
+func TestPropertyRunProtocolsExecutorsAgree(t *testing.T) {
+	f := func(seed int64, sz, span, workers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%10) + 2
+		cfg := config.Random(n, 0.3, config.UniformRandomTags{Span: int(span % 5)}, rng)
+		protos := assignedProtocols(seed, n)
+		opts := Options{MaxRounds: 2000}
+
+		seq, err := NewSimulator(cfg)
+		if err != nil {
+			return false
+		}
+		want, err1 := seq.RunProtocols(protos, opts)
+		pool, err := NewParallelSimulator(cfg, int(workers%4)+1)
+		if err != nil {
+			return false
+		}
+		defer pool.Close()
+		for trial := 0; trial < 3; trial++ { // reuse across runs must be stable
+			got, err2 := pool.RunProtocols(protos, opts)
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 != nil {
+				return true
+			}
+			if !sameOutcome(want, got, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatalf("heterogeneous executor equivalence violated: %v", err)
+	}
+}
+
+// TestParallelSimulatorReuseAndSteadyStateAllocs checks the pooled executor
+// path end to end: a reused parallel simulator matches the one-shot
+// sequential engine, and its round loop performs no allocations once warm
+// (the pool's channel handshakes and wait-group operations are
+// allocation-free).
+func TestParallelSimulatorReuseAndSteadyStateAllocs(t *testing.T) {
+	cfg := config.StaggeredClique(24)
+	var proto drip.Protocol = drip.BeepAt{Round: 1, StopAfter: 4}
+	want, err := Sequential{}.Run(cfg, proto, Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	sim, err := NewParallelSimulator(cfg, 3)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	defer sim.Close()
+	if sim.ExecutorName() != "pool-3" {
+		t.Fatalf("executor name %q", sim.ExecutorName())
+	}
+	run := func() {
+		got, err := sim.Run(proto, Options{})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		if got.GlobalRounds != want.GlobalRounds {
+			t.Fatalf("rounds %d, want %d", got.GlobalRounds, want.GlobalRounds)
+		}
+	}
+	run() // warm buffers
+	got, err := sim.Run(proto, Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	sameResult(t, want, got)
+	if allocs := testing.AllocsPerRun(30, run); allocs != 0 {
+		t.Fatalf("steady-state parallel run allocates %.1f times, want 0", allocs)
 	}
 }
 

@@ -28,10 +28,17 @@ import (
 // to retain results across runs must copy them (or use the one-shot
 // Sequential engine, which dedicates a fresh Simulator per call).
 //
+// The protocol-action step of each round runs through a pluggable Executor:
+// NewSimulator installs the inline (single-threaded) executor and
+// NewParallelSimulator installs a persistent worker pool that shards the Act
+// calls across goroutines. Both produce bit-identical results; see the
+// Executor doc for why.
+//
 // A Simulator is not safe for concurrent use; give each goroutine its own.
 type Simulator struct {
-	cfg *config.Config
-	csr graph.CSR
+	cfg  *config.Config
+	csr  graph.CSR
+	exec Executor
 
 	states       []nodeState
 	protos       []drip.Protocol
@@ -46,18 +53,49 @@ type Simulator struct {
 	res Result
 }
 
-// NewSimulator validates cfg and builds a reusable simulator for it.
+// NewSimulator validates cfg and builds a reusable simulator for it, with
+// the inline (single-threaded) executor.
 func NewSimulator(cfg *config.Config) (*Simulator, error) {
+	return NewSimulatorExecutor(cfg, NewInlineExecutor())
+}
+
+// NewParallelSimulator builds a reusable simulator whose action step is
+// sharded across a persistent pool of `workers` goroutines (workers <= 0
+// selects GOMAXPROCS). Call Close when done to stop the pool; the
+// simulator's buffers (and any Result pointing into them) stay valid after
+// Close.
+func NewParallelSimulator(cfg *config.Config, workers int) (*Simulator, error) {
+	sim, err := NewSimulatorExecutor(cfg, NewPoolExecutor(workers))
+	if err != nil {
+		return nil, err
+	}
+	return sim, nil
+}
+
+// NewSimulatorExecutor validates cfg and builds a reusable simulator that
+// runs its action step on the given executor. The simulator takes ownership
+// of the executor: Close releases it.
+func NewSimulatorExecutor(cfg *config.Config, exec Executor) (*Simulator, error) {
 	if cfg == nil {
+		if exec != nil {
+			exec.Close()
+		}
 		return nil, fmt.Errorf("radio: nil configuration")
 	}
 	if err := cfg.Validate(); err != nil {
+		if exec != nil {
+			exec.Close()
+		}
 		return nil, fmt.Errorf("radio: invalid configuration: %w", err)
+	}
+	if exec == nil {
+		exec = NewInlineExecutor()
 	}
 	n := cfg.N()
 	return &Simulator{
 		cfg:          cfg,
 		csr:          cfg.Graph().CSR(),
+		exec:         exec,
 		states:       make([]nodeState, n),
 		protos:       make([]drip.Protocol, n),
 		actions:      make([]drip.Action, n),
@@ -73,6 +111,19 @@ func NewSimulator(cfg *config.Config) (*Simulator, error) {
 // Config returns the configuration the simulator is bound to.
 func (s *Simulator) Config() *config.Config { return s.cfg }
 
+// ExecutorName identifies the executor the simulator schedules its action
+// step on.
+func (s *Simulator) ExecutorName() string { return s.exec.Name() }
+
+// Close releases the simulator's executor (stopping pool workers, if any).
+// The buffers — including any Result returned by a previous Run — remain
+// valid; only further Runs are forbidden.
+func (s *Simulator) Close() {
+	if s.exec != nil {
+		s.exec.Close()
+	}
+}
+
 // Run executes proto identically on every node (the anonymous model) and
 // returns the result. See the Simulator doc comment for the lifetime of the
 // returned Result.
@@ -86,9 +137,13 @@ func (s *Simulator) Run(proto drip.Protocol, opts Options) (*Result, error) {
 	return s.run(opts)
 }
 
-// RunAssigned executes a heterogeneous system in which node v runs
-// protos[v]; it backs the labeled baselines of the evaluation.
-func (s *Simulator) RunAssigned(protos []drip.Protocol, opts Options) (*Result, error) {
+// RunProtocols executes a heterogeneous system in which node v runs
+// protos[v], on the same zero-alloc dirty-list medium as Run: all buffers
+// are reused across runs, so repeated heterogeneous workloads (the labeled
+// baselines, mixed-protocol experiments) are allocation-free in steady
+// state. The protocols are copied into the simulator's own table, so the
+// caller may reuse or mutate the slice afterwards.
+func (s *Simulator) RunProtocols(protos []drip.Protocol, opts Options) (*Result, error) {
 	if len(protos) != s.cfg.N() {
 		return nil, fmt.Errorf("radio: %d protocols for %d nodes", len(protos), s.cfg.N())
 	}
@@ -99,6 +154,12 @@ func (s *Simulator) RunAssigned(protos []drip.Protocol, opts Options) (*Result, 
 	}
 	copy(s.protos, protos)
 	return s.run(opts)
+}
+
+// RunAssigned is the historical name of RunProtocols, kept for callers of
+// the labeled-baseline era.
+func (s *Simulator) RunAssigned(protos []drip.Protocol, opts Options) (*Result, error) {
+	return s.RunProtocols(protos, opts)
 }
 
 // run is the engine's round loop. The step structure follows the model
@@ -134,21 +195,10 @@ func (s *Simulator) run(opts Options) (*Result, error) {
 		}
 
 		// Step 1: every awake, non-terminated node that woke up in an
-		// earlier round consults the protocol for its next action.
-		for v := 0; v < n; v++ {
-			s.acting[v] = false
-			s.transmitting[v] = false
-			st := &s.states[v]
-			if !st.awake || st.terminated || st.wakeRound == round {
-				continue
-			}
-			s.acting[v] = true
-			s.actions[v] = s.protos[v].Act(st.hist)
-			if s.actions[v].Kind == drip.Transmit {
-				s.transmitting[v] = true
-				s.messages[v] = s.actions[v].Msg
-			}
-		}
+		// earlier round consults the protocol for its next action. The
+		// executor decides the schedule of the Act calls (inline loop or
+		// worker-pool shards); the computed actions are identical either way.
+		s.exec.act(s, round, n)
 
 		// Step 2: resolve the radio medium: count transmitting neighbours of
 		// every node and remember the message when the count is exactly one.
@@ -250,6 +300,28 @@ func (s *Simulator) run(opts Options) (*Result, error) {
 	}
 
 	return s.buildResult(lastActive+1, trace), nil
+}
+
+// actRange performs the action step for the contiguous node range [lo, hi):
+// for every awake, non-terminated node past its wake-up round it records the
+// protocol's next action and the transmit flags. Ranges are disjoint across
+// executor shards and every write is indexed by the node, so concurrent
+// actRange calls on disjoint ranges are race-free.
+func (s *Simulator) actRange(round, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		s.acting[v] = false
+		s.transmitting[v] = false
+		st := &s.states[v]
+		if !st.awake || st.terminated || st.wakeRound == round {
+			continue
+		}
+		s.acting[v] = true
+		s.actions[v] = s.protos[v].Act(st.hist)
+		if s.actions[v].Kind == drip.Transmit {
+			s.transmitting[v] = true
+			s.messages[v] = s.actions[v].Msg
+		}
+	}
 }
 
 // buildResult assembles the reusable Result from the final node states.
