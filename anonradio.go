@@ -38,6 +38,7 @@ import (
 	"anonradio/internal/harness"
 	"anonradio/internal/history"
 	"anonradio/internal/radio"
+	"anonradio/internal/service"
 )
 
 // Config is a configuration: a connected undirected graph whose nodes carry
@@ -233,22 +234,37 @@ func Elect(cfg *Config) (*ElectionOutcome, *Dedicated, error) {
 
 // ElectWith is Elect with an explicit choice of simulation engine.
 func ElectWith(cfg *Config, kind EngineKind) (*ElectionOutcome, *Dedicated, error) {
-	eng, err := engineFor(kind)
-	if err != nil {
-		return nil, nil, err
+	if _, err := engineFor(kind); err != nil {
+		return nil, nil, err // fail on a bad engine before paying for the build
 	}
 	d, err := election.BuildDedicated(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := d.Elect(eng, radio.Options{})
+	out, err := ElectDedicated(d, kind)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := d.Verify(out); err != nil {
-		return nil, nil, err
-	}
 	return out, d, nil
+}
+
+// ElectDedicated executes an already-built (or loaded) dedicated algorithm
+// on the chosen engine and verifies the outcome; it is the serving half of
+// ElectWith/ElectCompiled for callers that manage algorithm lifetimes
+// themselves.
+func ElectDedicated(d *Dedicated, kind EngineKind) (*ElectionOutcome, error) {
+	eng, err := engineFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	out, err := d.Elect(eng, radio.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Verify(out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Simulate executes the dedicated algorithm's protocol on its configuration
@@ -292,9 +308,19 @@ type ExecutionMetrics = radio.Metrics
 func CompileElection(d *Dedicated) *CompiledElection { return d.Compile() }
 
 // LoadElection rebuilds an executable dedicated algorithm from its compiled
-// form and the configuration it is meant to run on.
+// form and the configuration it is meant to run on, fully validating any
+// embedded phase table against a recompilation from the blueprint.
 func LoadElection(c *CompiledElection, cfg *Config) (*Dedicated, error) {
 	return election.Load(c, cfg)
+}
+
+// LoadElectionTrusted is LoadElection with the digest fast path: an
+// artifact whose phase-table digest verifies skips the recompile-and-
+// compare validation. The digest is a plain content hash, so only use this
+// for artifacts from a source the deployment already trusts; see
+// election.LoadTrusted.
+func LoadElectionTrusted(c *CompiledElection, cfg *Config) (*Dedicated, error) {
+	return election.LoadTrusted(c, cfg)
 }
 
 // ParseCompiledElection decodes a compiled algorithm from JSON.
@@ -303,24 +329,68 @@ func ParseCompiledElection(data []byte) (*CompiledElection, error) {
 }
 
 // ElectCompiled executes a pre-compiled dedicated algorithm on cfg with the
-// chosen engine and verifies the outcome.
+// chosen engine and verifies the outcome (full artifact validation; load
+// with LoadElectionTrusted and ElectDedicated to opt into the digest fast
+// path).
 func ElectCompiled(c *CompiledElection, cfg *Config, kind EngineKind) (*ElectionOutcome, *Dedicated, error) {
-	eng, err := engineFor(kind)
-	if err != nil {
-		return nil, nil, err
+	if _, err := engineFor(kind); err != nil {
+		return nil, nil, err // fail on a bad engine before paying for the load
 	}
 	d, err := election.Load(c, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := d.Elect(eng, radio.Options{})
+	out, err := ElectDedicated(d, kind)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := d.Verify(out); err != nil {
-		return nil, nil, err
-	}
 	return out, d, nil
+}
+
+// Service is the sharded election service: a long-lived registry of
+// dedicated algorithms served from worker-owned shards. Keys hash onto
+// shards; each shard's worker owns its configurations, build arena,
+// simulators and outcome buffers, so concurrent Register/Elect/Evict calls
+// are safe and the steady-state Elect path performs zero heap allocations.
+// See internal/service for the ownership model. Release a Service with
+// Close.
+type Service = service.Registry
+
+// ServiceOptions configure a Service (shard count, per-shard queue depth).
+type ServiceOptions = service.Options
+
+// ServiceOutcome is the value-typed result of one served election: key,
+// elected leader, rounds, per-key error. It aliases no service-owned memory.
+type ServiceOutcome = service.Outcome
+
+// ServiceShardStats is a snapshot of one shard's counters.
+type ServiceShardStats = service.ShardStats
+
+// ErrServiceClosed is returned by operations on a closed Service.
+var ErrServiceClosed = service.ErrClosed
+
+// NewService starts a sharded election service. Admit configurations with
+// Register (build on the shard) or RegisterCompiled (load an artifact, with
+// the digest fast path), then serve steady-state elections with Elect /
+// ElectBatch and observe the per-shard counters with Stats.
+func NewService(opts ServiceOptions) *Service { return service.New(opts) }
+
+// ServiceTotals folds per-shard snapshots into one aggregate.
+func ServiceTotals(stats []ServiceShardStats) ServiceShardStats { return service.Totals(stats) }
+
+// BuildArena is a reusable scratch arena for building dedicated algorithms:
+// repeated builds reuse the classifier scratch and the canonical-run
+// simulator, keeping only the allocations genuinely retained by each built
+// algorithm. A BuildArena is not safe for concurrent use.
+type BuildArena = election.BuildArena
+
+// NewBuildArena returns an empty build arena.
+func NewBuildArena() *BuildArena { return election.NewBuildArena() }
+
+// BuildElectionInto is BuildElection with an explicit reusable build arena
+// (nil behaves like BuildElection).
+func BuildElectionInto(a *BuildArena, cfg *Config) (*Dedicated, error) {
+	return election.BuildDedicatedInto(a, cfg)
 }
 
 // ComputeMetrics derives execution metrics from a traced simulation result
@@ -409,16 +479,16 @@ func NewParallelSimulator(cfg *Config, workers int) (*Simulator, error) {
 	return radio.NewParallelSimulator(cfg, workers)
 }
 
-// RunExperiments regenerates every experiment table (E1-E10) and writes them
-// to w. With quick=true a reduced parameter sweep is used. The election
+// RunExperiments regenerates every experiment table (E1-E12, A1) and writes
+// them to w. With quick=true a reduced parameter sweep is used. The election
 // experiments run on the sequential engine; use RunExperimentsOn to choose.
 func RunExperiments(w io.Writer, quick bool, seed int64) error {
 	return RunExperimentsOn(w, quick, seed, SequentialEngine)
 }
 
 // RunExperimentsOn is RunExperiments with an explicit simulation engine for
-// the election experiments (E2-E4, E9). Tables are engine-independent; only
-// the wall-clock timings change.
+// the election experiments (E2-E4, E9, E12). Tables are engine-independent;
+// only the wall-clock timings change.
 func RunExperimentsOn(w io.Writer, quick bool, seed int64, kind EngineKind) error {
 	eng, err := engineFor(kind)
 	if err != nil {

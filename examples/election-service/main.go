@@ -1,0 +1,93 @@
+// Election service: run many configurations behind the sharded election
+// service and serve steady-state elections from worker-owned shards.
+//
+// The service is the deployment story of the reproduction scaled up: instead
+// of building one dedicated algorithm and electing once, a registry admits a
+// whole fleet of configurations (building on the shard's reusable arena, or
+// loading compiled artifacts with the digest fast path) and serves elections
+// with zero allocations per call and no cross-shard contention.
+//
+// Run with:
+//
+//	go run ./examples/election-service
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anonradio"
+)
+
+func main() {
+	// TrustCompiledDigests: artifacts we compile ourselves below are
+	// trusted, so verified digests skip the load-time recompilation.
+	svc := anonradio.NewService(anonradio.ServiceOptions{Shards: 4, TrustCompiledDigests: true})
+	defer svc.Close()
+
+	// Admit a mixed fleet: paper families of several sizes. Register
+	// classifies and builds on the owning shard; infeasible configurations
+	// are rejected at admission time.
+	keys := []string{}
+	for n := 4; n <= 16; n += 4 {
+		key := fmt.Sprintf("clique-%d", n)
+		if err := svc.Register(key, anonradio.StaggeredClique(n)); err != nil {
+			log.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	for m := 2; m <= 4; m++ {
+		key := fmt.Sprintf("line-G%d", m)
+		if err := svc.Register(key, anonradio.LineFamilyG(m)); err != nil {
+			log.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+
+	// An infeasible configuration is refused.
+	if err := svc.Register("bad", anonradio.SymmetricPair()); err != nil {
+		fmt.Printf("admission of the symmetric pair rejected as expected:\n  %v\n\n", err)
+	}
+
+	// Compiled artifacts are admitted without rebuilding: compile once
+	// (centrally, in the paper's story), then load — the embedded phase
+	// table's digest lets the load skip the recompilation.
+	cfg := anonradio.StaggeredPath(9, 2)
+	d, err := anonradio.BuildElection(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.RegisterCompiled("path-9", anonradio.CompileElection(d), cfg); err != nil {
+		log.Fatal(err)
+	}
+	keys = append(keys, "path-9")
+
+	// Serve a batch across the whole fleet: requests fan out to their
+	// owning shards and run concurrently.
+	outs, err := svc.ElectBatch(keys, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("one election per registered configuration:")
+	for _, out := range outs {
+		fmt.Printf("  %-10s leader node %-3d in %3d global rounds\n", out.Key, out.Leader, out.Rounds)
+	}
+
+	// Steady state: hammer a single key; the serve path reuses every buffer.
+	const hammer = 10_000
+	for i := 0; i < hammer; i++ {
+		if _, err := svc.Elect("clique-16"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("\nper-shard statistics:")
+	stats := svc.Stats()
+	for _, s := range stats {
+		fmt.Printf("  shard %d: %2d configs, %6d elections, %d failures\n",
+			s.Shard, s.Configs, s.Elections, s.Failures)
+	}
+	total := anonradio.ServiceTotals(stats)
+	fmt.Printf("  total:   %2d configs, %6d elections, %.1f rounds/election\n",
+		total.Configs, total.Elections, float64(total.Rounds)/float64(total.Elections))
+}

@@ -1,0 +1,81 @@
+package anonradio
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFacadeService exercises the sharded election service through the
+// public API: admission by build and by compiled artifact, single and batch
+// serving, per-shard stats, and agreement with the one-shot Elect paths on
+// every engine.
+func TestFacadeService(t *testing.T) {
+	svc := NewService(ServiceOptions{Shards: 3})
+	defer svc.Close()
+
+	arena := NewBuildArena()
+	keys := make([]string, 0, 6)
+	expected := map[string]int{}
+	for i, cfg := range []*Config{
+		StaggeredClique(8),
+		StaggeredPath(7, 2),
+		LineFamilyG(2),
+		StaggeredClique(5),
+	} {
+		key := fmt.Sprintf("cfg-%d", i)
+		// Build through the arena first so the facade arena path is covered,
+		// then admit the same configuration into the service.
+		d, err := BuildElectionInto(arena, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		expected[key] = d.ExpectedLeader
+		if i%2 == 0 {
+			if err := svc.Register(key, cfg); err != nil {
+				t.Fatalf("register %s: %v", key, err)
+			}
+		} else {
+			if err := svc.RegisterCompiled(key, CompileElection(d), cfg); err != nil {
+				t.Fatalf("register compiled %s: %v", key, err)
+			}
+		}
+		keys = append(keys, key)
+
+		out, err := svc.Elect(key)
+		if err != nil {
+			t.Fatalf("elect %s: %v", key, err)
+		}
+		if out.Leader != d.ExpectedLeader {
+			t.Fatalf("%s: service elected %d, want %d", key, out.Leader, d.ExpectedLeader)
+		}
+		for _, kind := range EngineKinds() {
+			direct, _, err := ElectWith(cfg, kind)
+			if err != nil {
+				t.Fatalf("%s engine %s: %v", key, kind, err)
+			}
+			if direct.Leader() != out.Leader || direct.Rounds != out.Rounds {
+				t.Fatalf("%s: engine %s (%d, %d rounds) disagrees with service (%d, %d rounds)",
+					key, kind, direct.Leader(), direct.Rounds, out.Leader, out.Rounds)
+			}
+		}
+	}
+
+	outs, err := svc.ElectBatch(keys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if out.Leader != expected[keys[i]] {
+			t.Fatalf("batch slot %d (%s): leader %d, want %d", i, keys[i], out.Leader, expected[keys[i]])
+		}
+	}
+
+	total := ServiceTotals(svc.Stats())
+	wantElections := int64(len(keys)) * 2 // one warm-up each + one batch each
+	if total.Elections != wantElections || total.Configs != len(keys) {
+		t.Fatalf("totals %+v, want %d elections over %d configs", total, wantElections, len(keys))
+	}
+	if svc.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", svc.Shards())
+	}
+}

@@ -1,0 +1,199 @@
+package canonical
+
+import (
+	"testing"
+
+	"anonradio/internal/config"
+	"anonradio/internal/core"
+)
+
+func reportFor(t *testing.T, cfg *config.Config) *core.Report {
+	t.Helper()
+	rep, err := core.Classify(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestPhaseTableDigest(t *testing.T) {
+	rep := reportFor(t, config.StaggeredClique(6))
+	d, err := New(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := d.Table()
+	if pt.Digest() != pt.Digest() {
+		t.Fatalf("digest not deterministic")
+	}
+	if pt.Digest() != pt.clone().Digest() {
+		t.Fatalf("clone digest differs")
+	}
+	other, err := New(reportFor(t, config.StaggeredPath(5, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Digest() == other.Table().Digest() {
+		t.Fatalf("different tables share a digest")
+	}
+	// Any content change the execution consults must change the digest.
+	mutated := pt.clone()
+	mutated.Plans[0].Block++
+	if mutated.Digest() == pt.Digest() {
+		t.Fatalf("plan mutation not reflected in digest")
+	}
+	// Mutate an expectation row; the line family needs several refinement
+	// iterations, so its table has non-trivial matching rows.
+	line, err := New(reportFor(t, config.LineFamilyG(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := line.Table()
+	mutated = lt.clone()
+	found := false
+	for i := range mutated.Matches {
+		if len(mutated.Matches[i].Rows) > 0 && len(mutated.Matches[i].Rows[0].Expect) > 0 {
+			mutated.Matches[i].Rows[0].Expect[0] ^= 1
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("line-family table has no match rows")
+	}
+	if mutated.Digest() == lt.Digest() {
+		t.Fatalf("expectation mutation not reflected in digest")
+	}
+}
+
+func TestFromCompiledFastPathAndFallback(t *testing.T) {
+	rep := reportFor(t, config.StaggeredClique(8))
+	d, err := New(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := rep.Config.Span()
+	pt := d.Table()
+	digest := ArtifactDigest(sigma, d.Lists, pt)
+
+	// Matching digest: fast path, no recompilation, identical table.
+	got, fast, err := FromCompiled(sigma, d.Lists, pt, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast {
+		t.Fatalf("matching digest should take the fast path")
+	}
+	if !got.Table().Equal(pt) {
+		t.Fatalf("fast path installed a different table")
+	}
+
+	// Stale digest over a genuine table: fallback validates and accepts.
+	got, fast, err = FromCompiled(sigma, d.Lists, pt, digest^1)
+	if err != nil {
+		t.Fatalf("stale digest over a genuine table must fall back, got error: %v", err)
+	}
+	if fast {
+		t.Fatalf("stale digest must not take the fast path")
+	}
+	if !got.Table().Equal(pt) {
+		t.Fatalf("fallback installed a different table")
+	}
+
+	// A tampered table whose recorded digest no longer verifies drops to the
+	// fallback, where the recompile-and-compare validation rejects it.
+	tampered := pt.clone()
+	tampered.Plans[0].Block++
+	if _, _, err := FromCompiled(sigma, d.Lists, tampered, digest); err == nil {
+		t.Fatalf("tampered table with stale digest should be rejected")
+	}
+
+	if _, _, err := FromCompiled(sigma, d.Lists, nil, 0); err == nil {
+		t.Fatalf("nil table should be rejected")
+	}
+}
+
+// TestArtifactDigestBindsBlueprint pins the correspondence property: the
+// artifact digest covers the lists as well as the table, so a table (and
+// digest) left stale while the blueprint's lists were regenerated cannot
+// take the fast path — it drops to the recompile-and-compare validation,
+// which rejects the mismatched pair.
+func TestArtifactDigestBindsBlueprint(t *testing.T) {
+	d, err := New(reportFor(t, config.LineFamilyG(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := d.Sigma
+	pt := d.Table()
+	staleDigest := ArtifactDigest(sigma, d.Lists, pt)
+
+	// Regenerate the lists with identical shape (same list count, same
+	// NumClasses per list — so TerminationRound and the match count are
+	// unchanged) but different content: bump one label triple's round.
+	regenerated := append([]core.List(nil), d.Lists...)
+	mutated := false
+	for li := range regenerated {
+		entries := append([]core.ListEntry(nil), regenerated[li].Entries...)
+		for ei := range entries {
+			if len(entries[ei].Label) > 0 && !mutated {
+				label := append(core.Label(nil), entries[ei].Label...)
+				label[0].Round++
+				entries[ei].Label = label
+				mutated = true
+			}
+		}
+		regenerated[li].Entries = entries
+	}
+	if !mutated {
+		t.Fatalf("line-family lists have no labels to mutate")
+	}
+	if ArtifactDigest(sigma, regenerated, pt) == staleDigest {
+		t.Fatalf("artifact digest did not observe the list change")
+	}
+	// The stale (table, digest) pair under the regenerated lists must not
+	// be adopted: the digest no longer verifies, and the fallback's
+	// recompilation from the new lists disagrees with the stale table.
+	if _, fast, err := FromCompiled(sigma, regenerated, pt, staleDigest); err == nil || fast {
+		t.Fatalf("stale table under regenerated lists must be rejected (fast=%v err=%v)", fast, err)
+	}
+}
+
+func BenchmarkDigestLoadFromCompiled(b *testing.B) {
+	// The line family G_m needs many refinement iterations, so its compiled
+	// table has the expectation rows that make recompilation expensive; a
+	// staggered clique converges in one iteration and would make both paths
+	// look alike.
+	rep, err := core.Classify(config.LineFamilyG(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := New(rep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sigma := rep.Config.Span()
+	pt := d.Table()
+	digest := ArtifactDigest(sigma, d.Lists, pt)
+	// The pre-digest artifact path: recompile the table from the lists, then
+	// validate the embedded table against the recompilation (InstallTable).
+	b.Run("recompile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loaded, err := FromLists(sigma, d.Lists)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := loaded.InstallTable(pt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, fast, err := FromCompiled(sigma, d.Lists, pt, digest); err != nil || !fast {
+				b.Fatalf("fast=%v err=%v", fast, err)
+			}
+		}
+	})
+}

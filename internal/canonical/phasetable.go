@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"anonradio/internal/drip"
+	"anonradio/internal/fnv"
 	"anonradio/internal/history"
 )
 
@@ -231,6 +232,36 @@ func (pm *PhaseMatch) rowMatches(h history.Vector, row *MatchRow) bool {
 		}
 	}
 	return true
+}
+
+// Digest returns a 64-bit FNV-1a content hash over every field the execution
+// consults: span, round plans, match starts and expectation rows, with
+// section lengths folded in so element moves cannot cancel out. Two tables
+// are Equal exactly when their digests are computed over identical content.
+// It is an integrity check against corruption and drift — not a
+// cryptographic signature. Artifact validation uses ArtifactDigest, which
+// additionally binds the table to the blueprint it was compiled from.
+func (pt *PhaseTable) Digest() uint64 {
+	h := uint64(fnv.Offset64)
+	h = fnv.Mix64(h, uint64(int64(pt.Sigma)))
+	h = fnv.Mix64(h, uint64(len(pt.Plans)))
+	for _, plan := range pt.Plans {
+		h = fnv.Mix64(h, uint64(int64(plan.Phase)))
+		h = fnv.Mix64(h, uint64(int64(plan.Block)))
+	}
+	h = fnv.Mix64(h, uint64(len(pt.Matches)))
+	for _, pm := range pt.Matches {
+		h = fnv.Mix64(h, uint64(int64(pm.Start)))
+		h = fnv.Mix64(h, uint64(len(pm.Rows)))
+		for _, row := range pm.Rows {
+			h = fnv.Mix64(h, uint64(int64(row.OldClass)))
+			h = fnv.Mix64(h, uint64(len(row.Expect)))
+			for _, e := range row.Expect {
+				h = fnv.Mix64(h, uint64(e))
+			}
+		}
+	}
+	return h
 }
 
 // Equal reports whether two phase tables are identical. It is used to

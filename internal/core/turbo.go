@@ -7,6 +7,7 @@ import (
 
 	"anonradio/internal/arena"
 	"anonradio/internal/config"
+	"anonradio/internal/fnv"
 	"anonradio/internal/graph"
 )
 
@@ -227,11 +228,6 @@ func (t *Turbo) reset(cfg *config.Config) {
 	}
 }
 
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-)
-
 // refine executes one Partitioner+Refine iteration (Algorithms 3 and 2) on
 // the packed representation: it fills the label arena, hashes every node's
 // (old class, label) key, and assigns new class numbers through the
@@ -257,8 +253,8 @@ func (t *Turbo) refine(sigma, numClasses int32, stats *Stats) int32 {
 			nbuf = append(nbuf, packPair(cw, sigma+1+tw-tv))
 		}
 		sortPacked(nbuf)
-		h := uint64(fnvOffset64)
-		h = fnvMix(h, uint64(uint32(cv)))
+		h := uint64(fnv.Offset64)
+		h = fnv.Mix64(h, uint64(uint32(cv)))
 		for i := 0; i < len(nbuf); {
 			j := i + 1
 			for j < len(nbuf) && nbuf[j] == nbuf[i] {
@@ -269,7 +265,7 @@ func (t *Turbo) refine(sigma, numClasses int32, stats *Stats) int32 {
 				p |= packMultiBit
 			}
 			t.lab = append(t.lab, p)
-			h = fnvMix(h, p)
+			h = fnv.Mix64(h, p)
 			stats.TripleInsertions++
 			i = j
 		}
@@ -313,13 +309,6 @@ func (t *Turbo) refine(sigma, numClasses int32, stats *Stats) int32 {
 		}
 	}
 	return numClasses
-}
-
-// fnvMix folds one 64-bit integer into an FNV-1a style running hash.
-func fnvMix(h, x uint64) uint64 {
-	h = (h ^ (x & 0xffffffff)) * fnvPrime64
-	h = (h ^ (x >> 32)) * fnvPrime64
-	return h
 }
 
 // sameLabel reports whether nodes a and b were assigned identical labels in

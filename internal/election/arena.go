@@ -1,0 +1,64 @@
+package election
+
+import (
+	"anonradio/internal/config"
+	"anonradio/internal/core"
+	"anonradio/internal/radio"
+)
+
+// BuildArena is a reusable scratch arena for building dedicated algorithms.
+// BuildDedicated pays for a fresh classifier scratch state (drawn from a
+// shared pool) and a fresh simulator for the canonical run on every call;
+// an arena owns both and reuses them across builds, so a service that admits
+// configurations repeatedly — the sharded election registry — amortizes the
+// whole build scratch to zero and keeps only the allocations that are
+// genuinely retained by the built Dedicated (report, lists, phase table,
+// decision target).
+//
+// A BuildArena is not safe for concurrent use; give each worker its own, as
+// the registry's shards do.
+type BuildArena struct {
+	turbo *core.Turbo
+	sim   *radio.Simulator
+}
+
+// NewBuildArena returns an empty build arena; buffers grow to steady state
+// over the first few builds.
+func NewBuildArena() *BuildArena {
+	return &BuildArena{turbo: core.NewTurbo()}
+}
+
+// BuildDedicatedInto is BuildDedicated with an explicit reusable build
+// arena: classification runs on the arena's turbo scratch and the canonical
+// execution that derives the leader history runs on the arena's rebindable
+// simulator instead of a freshly constructed one. The built Dedicated does
+// not retain the arena's simulator (it creates its own lazily on first
+// Elect), so the arena is immediately ready for the next build. A nil arena
+// behaves exactly like BuildDedicated.
+func BuildDedicatedInto(a *BuildArena, cfg *config.Config) (*Dedicated, error) {
+	if a == nil {
+		return BuildDedicated(cfg)
+	}
+	report, err := a.turbo.Classify(cfg, core.ClassifyOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return buildOnSimulator(report, a.simulator, false)
+}
+
+// simulator returns the arena's canonical-run simulator rebound to cfg,
+// creating it on first use.
+func (a *BuildArena) simulator(cfg *config.Config) (*radio.Simulator, error) {
+	if a.sim == nil {
+		sim, err := radio.NewSimulator(cfg)
+		if err != nil {
+			return nil, err
+		}
+		a.sim = sim
+		return sim, nil
+	}
+	if err := a.sim.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return a.sim, nil
+}

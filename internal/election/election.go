@@ -92,7 +92,19 @@ func BuildFromReport(report *core.Report) (*Dedicated, error) {
 	return buildFromReport(report)
 }
 
+// buildFromReport is the one-shot build: the canonical run executes on a
+// fresh simulator, which then stays attached to the Dedicated and serves
+// its Elect calls.
 func buildFromReport(report *core.Report) (*Dedicated, error) {
+	return buildOnSimulator(report, radio.NewSimulator, true)
+}
+
+// buildOnSimulator is the shared core of the one-shot and arena build
+// paths: check feasibility, derive the canonical DRIP, obtain the
+// canonical-run simulator through provide, and assemble the Dedicated
+// (retaining the simulator only when keep is set — the arena reuses its
+// simulator for the next build instead).
+func buildOnSimulator(report *core.Report, provide func(*config.Config) (*radio.Simulator, error), keep bool) (*Dedicated, error) {
 	if !report.Feasible() {
 		return nil, fmt.Errorf("%w: %s", ErrInfeasible, report.Config)
 	}
@@ -100,16 +112,26 @@ func buildFromReport(report *core.Report) (*Dedicated, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := report.Config
-
-	// Determine the designated leader's complete history by simulating the
-	// canonical DRIP on a reusable simulator; the simulator then stays
-	// attached to the Dedicated and serves its Elect calls.
-	sim, err := radio.NewSimulator(cfg)
+	sim, err := provide(report.Config)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(dg, radio.Options{})
+	keepSim := sim
+	if !keep {
+		keepSim = nil
+	}
+	return finishBuild(report, dg, sim, keepSim)
+}
+
+// finishBuild executes the canonical DRIP on runSim to derive the designated
+// leader's history and assembles the Dedicated. keepSim is the simulator the
+// Dedicated retains for its own elections: the one-shot build path passes
+// runSim itself, the arena path passes nil (the arena's simulator is reused
+// for the next build, and the Dedicated creates its own lazily on first
+// Elect).
+func finishBuild(report *core.Report, dg *canonical.DRIP, runSim, keepSim *radio.Simulator) (*Dedicated, error) {
+	cfg := report.Config
+	res, err := runSim.Run(dg, radio.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("election: canonical DRIP simulation failed: %w", err)
 	}
@@ -136,7 +158,7 @@ func buildFromReport(report *core.Report) (*Dedicated, error) {
 		ExpectedLeader: leader,
 		LocalRounds:    dg.TerminationRound(),
 		RoundBound:     cfg.Span() + dg.TerminationRound() + 1,
-		sim:            sim,
+		sim:            keepSim,
 	}
 	return d, nil
 }

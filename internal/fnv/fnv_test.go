@@ -1,0 +1,32 @@
+package fnv
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+func TestString64MatchesStdlib(t *testing.T) {
+	for _, s := range []string{"", "a", "key-0", "staggered-clique-64"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got, want := String64(s), h.Sum64(); got != want {
+			t.Fatalf("String64(%q) = %x, stdlib fnv-1a = %x", s, got, want)
+		}
+	}
+}
+
+func TestMix64(t *testing.T) {
+	if Mix64(Offset64, 1) == Mix64(Offset64, 2) {
+		t.Fatalf("Mix64 collides on trivially distinct inputs")
+	}
+	if Mix64(Offset64, 42) != Mix64(Offset64, 42) {
+		t.Fatalf("Mix64 not deterministic")
+	}
+	// Mixing folds both 32-bit halves: flipping a high bit must matter.
+	if Mix64(Offset64, 1) == Mix64(Offset64, 1|1<<40) {
+		t.Fatalf("Mix64 ignores the high word")
+	}
+	if allocs := testing.AllocsPerRun(20, func() { _ = String64("steady-state-key") }); allocs != 0 {
+		t.Fatalf("String64 allocates %.1f times", allocs)
+	}
+}

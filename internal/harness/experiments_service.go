@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"anonradio/internal/config"
+	"anonradio/internal/election"
+	"anonradio/internal/radio"
+	"anonradio/internal/service"
+)
+
+// E12ServiceThroughput measures the sharded election service: a set of
+// feasible configurations is admitted into registries of increasing shard
+// counts and a fixed election workload is served through each, against a
+// direct-ElectInto baseline on one goroutine. Every served outcome is
+// checked against a one-shot run on the configured engine, so the table
+// doubles as an end-to-end agreement check between the service path and the
+// engine substrate. Throughput scales with cores (shards are worker-owned);
+// on a single-core host the shard sweep mainly measures the dispatch
+// overhead of the service layer.
+func E12ServiceThroughput(opts Options) (*Table, error) {
+	nCfgs, size, elections := 12, 24, 3000
+	shardCounts := []int{1, 2, 4, 8}
+	if opts.Quick {
+		nCfgs, size, elections = 4, 10, 240
+		shardCounts = []int{1, 2}
+	}
+
+	// Workload: a mix of dense (clique) and sparse (path) configurations of
+	// varying size, all feasible by construction.
+	keys := make([]string, nCfgs)
+	cfgs := make([]*config.Config, nCfgs)
+	for i := range cfgs {
+		if i%2 == 0 {
+			cfgs[i] = config.StaggeredClique(size + i)
+		} else {
+			cfgs[i] = config.StaggeredPath(size+i, 1)
+		}
+		keys[i] = fmt.Sprintf("cfg-%d", i)
+	}
+
+	// Direct baseline: one warm Dedicated per configuration, elections
+	// served round-robin on the calling goroutine via the zero-alloc
+	// ElectInto path — the strongest single-threaded serving loop in the
+	// repository.
+	direct := make([]*election.Dedicated, nCfgs)
+	leaders := make([]int, nCfgs)
+	arena := election.NewBuildArena()
+	for i, cfg := range cfgs {
+		d, err := election.BuildDedicatedInto(arena, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E12 build %s: %w", keys[i], err)
+		}
+		direct[i] = d
+		leaders[i] = d.ExpectedLeader
+	}
+	var out radio.ElectionOutcome
+	start := time.Now()
+	for i := 0; i < elections; i++ {
+		d := direct[i%nCfgs]
+		if err := d.ElectInto(&out, radio.Options{}); err != nil {
+			return nil, fmt.Errorf("E12 direct elect: %w", err)
+		}
+	}
+	directTime := time.Since(start)
+	directPer := directTime / time.Duration(elections)
+
+	// Engine agreement: the served outcomes must match a one-shot run on
+	// the configured engine for every configuration.
+	eng := opts.engine()
+	engineRounds := make([]int, nCfgs)
+	for i, d := range direct {
+		res, err := d.Elect(eng, radio.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("E12 engine %s: %w", eng.Name(), err)
+		}
+		if res.Leader() != leaders[i] {
+			return nil, fmt.Errorf("E12: engine %s elected %d on %s, expected %d", eng.Name(), res.Leader(), keys[i], leaders[i])
+		}
+		engineRounds[i] = res.Rounds
+	}
+
+	table := NewTable("E12: Sharded election service throughput",
+		"shards", "configs", "elections", "total time", "per-elect", "vs direct", "agree")
+	for _, shards := range shardCounts {
+		reg := service.New(service.Options{Shards: shards})
+		for i, cfg := range cfgs {
+			if err := reg.Register(keys[i], cfg); err != nil {
+				reg.Close()
+				return nil, fmt.Errorf("E12 register %s: %w", keys[i], err)
+			}
+		}
+		// Warm every entry (lazy simulators, outcome buffers), then serve
+		// the workload in batches of one full key sweep.
+		outs, err := reg.ElectBatch(keys, nil)
+		if err != nil {
+			reg.Close()
+			return nil, fmt.Errorf("E12 warm-up: %w", err)
+		}
+		agree := true
+		start := time.Now()
+		for done := 0; done < elections; done += nCfgs {
+			outs, err = reg.ElectBatch(keys, outs)
+			if err != nil {
+				reg.Close()
+				return nil, fmt.Errorf("E12 serve (shards=%d): %w", shards, err)
+			}
+			for i, o := range outs {
+				if o.Leader != leaders[i] || o.Rounds != engineRounds[i] {
+					agree = false
+				}
+			}
+		}
+		served := (elections + nCfgs - 1) / nCfgs * nCfgs
+		elapsed := time.Since(start)
+		per := elapsed / time.Duration(served)
+		total := service.Totals(reg.Stats())
+		reg.Close()
+		if total.Failures != 0 {
+			return nil, fmt.Errorf("E12: %d failures at shards=%d", total.Failures, shards)
+		}
+		table.AddRow(
+			fmt.Sprintf("%d", shards),
+			fmt.Sprintf("%d", nCfgs),
+			fmt.Sprintf("%d", served),
+			elapsed.Round(time.Millisecond).String(),
+			per.Round(100 * time.Nanosecond).String(),
+			fmt.Sprintf("%.2fx", float64(directPer)/float64(per)),
+			fmt.Sprintf("%v", agree),
+		)
+		if !agree {
+			return nil, fmt.Errorf("E12: service outcomes diverged from the %s engine at shards=%d", eng.Name(), shards)
+		}
+	}
+	table.AddNote("direct baseline: %d elections round-robin over warm ElectInto on one goroutine, %s per election",
+		elections, directPer.Round(100*time.Nanosecond))
+	table.AddNote("agreement checked against one-shot %s engine runs (leader and round count per configuration)", eng.Name())
+	table.AddNote("shards are worker-owned; the sweep shows dispatch overhead on one core and scales with cores")
+	return table, nil
+}

@@ -19,8 +19,8 @@ type Options struct {
 	// Trials is the number of repetitions for randomized measurements; zero
 	// selects a per-experiment default.
 	Trials int
-	// Engine is the simulation engine the election experiments (E2-E4, E9)
-	// run on; nil selects the sequential reference engine. Results are
+	// Engine is the simulation engine the election experiments (E2-E4, E9,
+	// E12) run on; nil selects the sequential reference engine. Results are
 	// engine-independent (all engines produce bit-identical histories; E8
 	// verifies it), only the wall-clock changes.
 	Engine radio.Engine
@@ -55,7 +55,7 @@ func (o Options) trials(def, quick int) int {
 
 // Experiment is one runnable experiment.
 type Experiment struct {
-	// ID is the experiment identifier ("E1" .. "E9").
+	// ID is the experiment identifier ("E1" .. "E12", "A1").
 	ID string
 	// Name is a short description.
 	Name string
@@ -77,6 +77,7 @@ func All() []Experiment {
 		{ID: "E9", Name: "Baseline comparison (identifiers / randomness vs anonymity)", Run: E9Baselines},
 		{ID: "E10", Name: "Radio-model refinement vs colour refinement (structural comparison)", Run: E10Structure},
 		{ID: "E11", Name: "Automorphism certificate vs Classifier (structural comparison)", Run: E11Symmetry},
+		{ID: "E12", Name: "Sharded election service throughput (substrate validation)", Run: E12ServiceThroughput},
 		{ID: "A1", Name: "Ablation: Refine implementation (representative scan vs hashing)", Run: A1RefineAblation},
 	}
 }

@@ -30,8 +30,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(all))
+	if len(all) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -203,6 +203,21 @@ func TestE11Symmetry(t *testing.T) {
 	}
 }
 
+func TestE12ServiceThroughput(t *testing.T) {
+	table, err := E12ServiceThroughput(quickOpts())
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("expected 2 rows (shard counts), got %d", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("service outcomes disagreed with the engine: %v", row)
+		}
+	}
+}
+
 func TestA1RefineAblation(t *testing.T) {
 	table, err := A1RefineAblation(quickOpts())
 	if err != nil {
@@ -219,7 +234,7 @@ func TestRunAllQuick(t *testing.T) {
 		t.Fatalf("%v", err)
 	}
 	out := sb.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "A1"} {
 		if !strings.Contains(out, "## "+id) {
 			t.Fatalf("RunAll output missing %s", id)
 		}

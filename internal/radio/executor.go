@@ -58,10 +58,21 @@ type poolJob struct {
 // per node), keeps no per-node goroutine state, and allocates nothing in
 // steady state: workers live for the executor's lifetime and every job is a
 // value sent over a buffered channel.
+//
+// Shards are contiguous node ranges whose boundaries are balanced by
+// cumulative act weight (1 + degree) rather than by equal node counts, so a
+// skewed graph (a few hubs carrying most of the edges, contiguously
+// numbered) does not concentrate the heavy neighbourhoods into one worker.
+// The boundaries are computed once per simulator (see Simulator.actShards)
+// and any contiguous partition produces bit-identical actions, so the
+// balancing changes only the schedule, never the result.
 type poolExecutor struct {
 	jobs []chan poolJob
 	wg   sync.WaitGroup
 	once sync.Once
+	// uniform restores the historical equal-node-count split; it exists only
+	// so the skewed-graph benchmarks can measure the balancing win in-tree.
+	uniform bool
 }
 
 // NewPoolExecutor returns an executor that shards the action step over
@@ -69,10 +80,14 @@ type poolExecutor struct {
 // executor must be released with Close (or Simulator.Close) once its
 // simulator is no longer needed.
 func NewPoolExecutor(workers int) Executor {
+	return newPoolExecutor(workers, false)
+}
+
+func newPoolExecutor(workers int, uniform bool) *poolExecutor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &poolExecutor{jobs: make([]chan poolJob, workers)}
+	p := &poolExecutor{jobs: make([]chan poolJob, workers), uniform: uniform}
 	for i := range p.jobs {
 		ch := make(chan poolJob, 1)
 		p.jobs[i] = ch
@@ -97,19 +112,43 @@ func (p *poolExecutor) act(s *Simulator, round, n int) {
 		s.actRange(round, 0, n)
 		return
 	}
-	// One contiguous shard per worker: disjoint index ranges, so workers
-	// never write the same slice element and results are schedule-independent.
-	chunk := (n + workers - 1) / workers
-	used := (n + chunk - 1) / chunk
-	p.wg.Add(used)
-	i := 0
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	if p.uniform {
+		// Historical equal-node-count split, kept for benchmarks.
+		chunk := (n + workers - 1) / workers
+		used := (n + chunk - 1) / chunk
+		p.wg.Add(used)
+		i := 0
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			p.jobs[i] <- poolJob{s: s, round: round, lo: lo, hi: hi}
+			i++
 		}
-		p.jobs[i] <- poolJob{s: s, round: round, lo: lo, hi: hi}
-		i++
+		p.wg.Wait()
+		return
+	}
+	// One contiguous shard per worker, boundaries balanced by cumulative
+	// degree: disjoint index ranges, so workers never write the same slice
+	// element and results are schedule-independent. Shards left empty by a
+	// heavy hub absorbing several boundary targets are skipped.
+	bounds := s.actShards(workers)
+	used := 0
+	for i := 0; i < workers; i++ {
+		if bounds[i+1] > bounds[i] {
+			used++
+		}
+	}
+	p.wg.Add(used)
+	w := 0
+	for i := 0; i < workers; i++ {
+		lo, hi := int(bounds[i]), int(bounds[i+1])
+		if hi <= lo {
+			continue
+		}
+		p.jobs[w] <- poolJob{s: s, round: round, lo: lo, hi: hi}
+		w++
 	}
 	p.wg.Wait()
 }

@@ -50,6 +50,12 @@ type Simulator struct {
 	single       []string // pending message when counts is exactly 1
 	touched      []int32  // nodes whose counts/single entries are dirty
 
+	// shardBounds caches the degree-balanced shard boundaries handed to the
+	// pool executor; shardWorkers is the worker count it was computed for
+	// (0 = not computed). Reset invalidates the cache.
+	shardBounds  []int32
+	shardWorkers int
+
 	res Result
 }
 
@@ -106,6 +112,102 @@ func NewSimulatorExecutor(cfg *config.Config, exec Executor) (*Simulator, error)
 		single:       make([]string, n),
 		touched:      make([]int32, 0, n),
 	}, nil
+}
+
+// Reset rebinds the simulator to a different configuration, reusing every
+// internal buffer the new configuration fits in: the CSR adjacency, the
+// per-node state (including history backing arrays), the medium scratch and
+// the result buffers are all retained, so re-binding a warm simulator across
+// a stream of same-sized configurations allocates nothing. The executor is
+// kept as well. It is the build-path counterpart of the zero-alloc round
+// loop: services that admit configurations repeatedly (the election
+// registry's build arena) re-use one simulator instead of constructing one
+// per admission.
+//
+// Any Result returned by a previous Run is invalidated.
+//
+// Reset performs only allocation-free shape checks; unlike the constructors
+// it does not re-run the connectivity traversal of Config.Validate, so the
+// caller must pass a configuration that already passed full validation (the
+// build paths hand over configurations that came out of a Classifier run).
+func (s *Simulator) Reset(cfg *config.Config) error {
+	if cfg == nil {
+		return fmt.Errorf("radio: nil configuration")
+	}
+	n := cfg.N()
+	if n == 0 {
+		return fmt.Errorf("radio: empty configuration")
+	}
+	for v := 0; v < n; v++ {
+		if cfg.Tag(v) < 0 {
+			return fmt.Errorf("radio: node %d has negative tag %d", v, cfg.Tag(v))
+		}
+	}
+	s.cfg = cfg
+	s.csr = cfg.Graph().CSRInto(s.csr)
+	s.states = growStates(s.states, n)
+	s.protos = arena.Grow(s.protos, n)
+	s.actions = arena.Grow(s.actions, n)
+	s.acting = arena.Grow(s.acting, n)
+	s.transmitting = arena.Grow(s.transmitting, n)
+	s.messages = arena.Grow(s.messages, n)
+	// The round loop relies on the medium being all-clean; clearing here is
+	// simpler than reasoning about dirt left by aborted runs or by entries
+	// that fell outside a smaller intermediate configuration.
+	s.counts = arena.Grow(s.counts, n)
+	clear(s.counts)
+	s.single = arena.Grow(s.single, n)
+	clear(s.single)
+	s.touched = s.touched[:0]
+	s.shardWorkers = 0
+	return nil
+}
+
+// growStates is arena.Grow for the node-state slice, preserving the history
+// backing arrays of existing entries so they keep amortizing across runs.
+func growStates(states []nodeState, n int) []nodeState {
+	if cap(states) < n {
+		grown := make([]nodeState, n)
+		copy(grown, states)
+		return grown
+	}
+	return states[:n]
+}
+
+// actShards returns shard boundaries b[0..workers] for the pool executor:
+// shard i covers the contiguous node range [b[i], b[i+1]) and the cumulative
+// act weight of every shard is approximately equal, where a node weighs
+// 1 + degree. Equal node counts serialize skewed graphs — a handful of
+// contiguously numbered hubs (and their long neighbour scans in protocols
+// whose per-node work tracks the neighbourhood size) all land in one shard —
+// while cumulative-degree boundaries keep the heaviest shard within one
+// node's weight of the ideal split. The boundaries are cached; Reset and
+// worker-count changes invalidate the cache.
+func (s *Simulator) actShards(workers int) []int32 {
+	if s.shardWorkers == workers {
+		return s.shardBounds
+	}
+	n := len(s.states)
+	s.shardBounds = arena.Grow(s.shardBounds, workers+1)
+	bounds := s.shardBounds
+	bounds[0] = 0
+	total := int64(n) + int64(len(s.csr.Targets))
+	var cum int64
+	shard := 1
+	for v := 0; v < n; v++ {
+		cum += 1 + int64(s.csr.Degree(v))
+		// A hub heavier than one shard target advances several boundaries at
+		// once, producing empty shards the executor skips.
+		for shard <= workers && cum*int64(workers) >= int64(shard)*total {
+			bounds[shard] = int32(v + 1)
+			shard++
+		}
+	}
+	for ; shard <= workers; shard++ {
+		bounds[shard] = int32(n)
+	}
+	s.shardWorkers = workers
+	return bounds
 }
 
 // Config returns the configuration the simulator is bound to.

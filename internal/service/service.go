@@ -1,0 +1,421 @@
+// Package service implements the sharded election service: a long-lived
+// registry of dedicated leader-election algorithms served from worker-owned
+// shards.
+//
+// The Registry hashes configuration keys onto N shards. Each shard is owned
+// by exactly one worker goroutine that holds everything the shard needs —
+// its configurations (each an *election.Dedicated with its pooled
+// simulator), a reusable build arena for admissions, one reusable
+// ElectionOutcome per configuration, and its own statistics counters. Every
+// operation on a shard (registration, election, eviction, stats snapshot)
+// executes *on* the owning worker via its request queue, so shard state
+// needs no locks, shares no memory across shards, and the steady-state
+// serve path performs zero heap allocations: requests and responses travel
+// by value through buffered channels, reply channels are drawn from a pool,
+// and the election itself runs on the zero-alloc Dedicated.ElectInto path.
+//
+// The design trades large-result access for serve throughput: a served
+// Outcome carries the elected leader and the round count by value, not the
+// per-node histories (which live in worker-owned buffers and are
+// overwritten by the next election on the same configuration). Callers that
+// want to inspect full executions should build a Dedicated directly.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"anonradio/internal/config"
+	"anonradio/internal/election"
+	"anonradio/internal/fnv"
+	"anonradio/internal/radio"
+)
+
+// ErrClosed is returned by operations on a closed registry.
+var ErrClosed = errors.New("service: registry is closed")
+
+// Options configure a Registry.
+type Options struct {
+	// Shards is the number of worker-owned shards; <= 0 selects GOMAXPROCS.
+	Shards int
+	// QueueDepth is the per-shard request buffer; <= 0 selects 64. A deeper
+	// queue lets batch submitters run further ahead of a busy shard.
+	QueueDepth int
+	// TrustCompiledDigests selects election.LoadTrusted for RegisterCompiled
+	// admissions: artifacts whose phase-table digest verifies skip the
+	// recompile-and-compare validation. Enable it only when every admitted
+	// artifact comes from a source the deployment already trusts; the
+	// default (false) fully validates every artifact.
+	TrustCompiledDigests bool
+}
+
+// Outcome is the value-typed result of one served election. It aliases no
+// worker-owned memory, so it stays valid indefinitely and travels through
+// channels without allocating.
+type Outcome struct {
+	// Key is the configuration key the election ran for.
+	Key string
+	// Index is the position of the key in the ElectBatch submission (0 for a
+	// single Elect).
+	Index int
+	// Leader is the elected node, or -1 when the election failed.
+	Leader int
+	// Rounds is the number of global rounds of the election.
+	Rounds int
+	// Err reports a per-key failure (unknown key, round-limit overrun, ...).
+	Err error
+}
+
+// Elected reports whether the election succeeded.
+func (o Outcome) Elected() bool { return o.Err == nil && o.Leader >= 0 }
+
+// ShardStats is a snapshot of one shard's counters.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int
+	// Configs is the number of configurations currently registered.
+	Configs int
+	// Builds counts successful admissions (Register and RegisterCompiled).
+	Builds int64
+	// Elections counts successfully served elections.
+	Elections int64
+	// Failures counts failed operations (infeasible admissions, unknown
+	// keys, failed elections).
+	Failures int64
+	// Rounds accumulates the global rounds of all served elections.
+	Rounds int64
+}
+
+// Totals folds per-shard snapshots into one aggregate (Shard is -1,
+// Configs/Builds/... are sums).
+func Totals(stats []ShardStats) ShardStats {
+	total := ShardStats{Shard: -1}
+	for _, s := range stats {
+		total.Configs += s.Configs
+		total.Builds += s.Builds
+		total.Elections += s.Elections
+		total.Failures += s.Failures
+		total.Rounds += s.Rounds
+	}
+	return total
+}
+
+type opKind uint8
+
+const (
+	opElect opKind = iota
+	opRegister
+	opEvict
+	opStats
+)
+
+// request is one operation handed to a shard worker. It travels by value
+// through the shard's buffered queue.
+type request struct {
+	op       opKind
+	key      string
+	index    int
+	cfg      *config.Config
+	compiled *election.Compiled
+	reply    chan response
+}
+
+// response is the worker's answer, also by value.
+type response struct {
+	out     Outcome
+	stats   ShardStats
+	evicted bool
+}
+
+// entry is one registered configuration: the dedicated algorithm plus the
+// shard-owned reusable outcome its elections run into.
+type entry struct {
+	d   *election.Dedicated
+	out radio.ElectionOutcome
+}
+
+// shard is the state owned by one worker goroutine. Nothing here is ever
+// touched from outside the worker.
+type shard struct {
+	id       int
+	requests chan request
+	entries  map[string]*entry
+	arena    *election.BuildArena
+	stats    ShardStats
+}
+
+// Registry is the sharded election service. All methods are safe for
+// concurrent use, except that Close must not race with other calls (closing
+// tears the request queues down).
+type Registry struct {
+	shards       []*shard
+	replies      sync.Pool // chan response, cap 1 — single-request rendezvous
+	batches      sync.Pool // chan response, batch-sized — ElectBatch gather
+	wg           sync.WaitGroup
+	closed       atomic.Bool
+	trustDigests bool
+}
+
+// New starts a registry with opts.Shards worker-owned shards. The registry
+// holds goroutines; release it with Close.
+func New(opts Options) *Registry {
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	r := &Registry{shards: make([]*shard, shards), trustDigests: opts.TrustCompiledDigests}
+	r.replies.New = func() any { return make(chan response, 1) }
+	for i := range r.shards {
+		sh := &shard{
+			id:       i,
+			requests: make(chan request, depth),
+			entries:  make(map[string]*entry),
+			arena:    election.NewBuildArena(),
+		}
+		r.shards[i] = sh
+		r.wg.Add(1)
+		go r.worker(sh)
+	}
+	return r
+}
+
+// Shards returns the number of shards.
+func (r *Registry) Shards() int { return len(r.shards) }
+
+// shardFor hashes the key (FNV-1a) onto its owning shard; a key always maps
+// to the same shard, so per-key operations are totally ordered by the
+// owning worker.
+func (r *Registry) shardFor(key string) *shard {
+	return r.shards[fnv.String64(key)%uint64(len(r.shards))]
+}
+
+// do executes one request on the shard and waits for the answer through a
+// pooled rendezvous channel; the round trip is allocation-free once the
+// pool is warm.
+func (r *Registry) do(sh *shard, req request) response {
+	reply := r.replies.Get().(chan response)
+	req.reply = reply
+	sh.requests <- req
+	resp := <-reply
+	r.replies.Put(reply)
+	return resp
+}
+
+// Register classifies cfg, builds its dedicated algorithm on the owning
+// shard's build arena, and admits it under key. Re-registering a key
+// replaces its configuration (and reuses its serving buffers). It returns
+// election.ErrInfeasible (wrapped) when cfg admits no election algorithm.
+func (r *Registry) Register(key string, cfg *config.Config) error {
+	if cfg == nil {
+		return fmt.Errorf("service: nil configuration")
+	}
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	resp := r.do(r.shardFor(key), request{op: opRegister, key: key, cfg: cfg})
+	return resp.out.Err
+}
+
+// RegisterCompiled admits a pre-compiled algorithm artifact for cfg under
+// key, loading it on the owning shard. The embedded phase table is fully
+// validated unless the registry was built with
+// Options.TrustCompiledDigests, in which case digest-verified artifacts
+// skip the recompilation (see election.LoadTrusted for the trust model).
+func (r *Registry) RegisterCompiled(key string, c *election.Compiled, cfg *config.Config) error {
+	if c == nil || cfg == nil {
+		return fmt.Errorf("service: nil compiled algorithm or configuration")
+	}
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	resp := r.do(r.shardFor(key), request{op: opRegister, key: key, cfg: cfg, compiled: c})
+	return resp.out.Err
+}
+
+// Evict removes the configuration registered under key and reports whether
+// it was present.
+func (r *Registry) Evict(key string) bool {
+	if r.closed.Load() {
+		return false
+	}
+	resp := r.do(r.shardFor(key), request{op: opEvict, key: key})
+	return resp.evicted
+}
+
+// Elect serves one election for the configuration registered under key.
+// This is the steady-state path: once the registry is warm it performs zero
+// heap allocations end to end (pooled rendezvous channel, value-typed
+// request/response, zero-alloc ElectInto on the shard).
+func (r *Registry) Elect(key string) (Outcome, error) {
+	if r.closed.Load() {
+		return Outcome{Key: key, Leader: -1, Err: ErrClosed}, ErrClosed
+	}
+	resp := r.do(r.shardFor(key), request{op: opElect, key: key})
+	return resp.out, resp.out.Err
+}
+
+// ElectBatch serves one election per key, writing the outcome for keys[i]
+// into slot i of the returned slice (outs is reused when it has capacity;
+// pass nil to allocate). Requests fan out to their owning shards up front
+// and execute concurrently across shards; the returned error is the first
+// per-key error in submission order (inspect the outcomes for the rest).
+func (r *Registry) ElectBatch(keys []string, outs []Outcome) ([]Outcome, error) {
+	if cap(outs) < len(keys) {
+		outs = make([]Outcome, len(keys))
+	} else {
+		outs = outs[:len(keys)]
+	}
+	if r.closed.Load() {
+		// Fill every slot explicitly: reused slices would otherwise carry
+		// stale outcomes from a previous batch (and fresh ones a plausible
+		// zero value), both of which read as successful elections.
+		for i, key := range keys {
+			outs[i] = Outcome{Key: key, Index: i, Leader: -1, Err: ErrClosed}
+		}
+		return outs, ErrClosed
+	}
+	if len(keys) == 0 {
+		return outs, nil
+	}
+	reply := r.batchReply(len(keys))
+	for i, key := range keys {
+		r.shardFor(key).requests <- request{op: opElect, key: key, index: i, reply: reply}
+	}
+	for range keys {
+		resp := <-reply
+		outs[resp.out.Index] = resp.out
+	}
+	r.batches.Put(reply)
+	for i := range outs {
+		if outs[i].Err != nil {
+			return outs, outs[i].Err
+		}
+	}
+	return outs, nil
+}
+
+// batchReply returns a pooled gather channel with room for n responses, so
+// workers never block on the reply side and a steady batch workload reuses
+// one channel. A pooled channel that is too small is dropped for a larger
+// one.
+func (r *Registry) batchReply(n int) chan response {
+	if ch, ok := r.batches.Get().(chan response); ok && cap(ch) >= n {
+		return ch
+	}
+	return make(chan response, n)
+}
+
+// Stats snapshots every shard's counters (one synchronous request per
+// shard, so each snapshot is internally consistent).
+func (r *Registry) Stats() []ShardStats {
+	stats := make([]ShardStats, len(r.shards))
+	if r.closed.Load() {
+		return stats
+	}
+	for i, sh := range r.shards {
+		stats[i] = r.do(sh, request{op: opStats}).stats
+	}
+	return stats
+}
+
+// Len returns the number of registered configurations across all shards.
+func (r *Registry) Len() int {
+	return Totals(r.Stats()).Configs
+}
+
+// Close drains and stops the shard workers. It must not be called
+// concurrently with other registry methods; calling it twice is safe.
+func (r *Registry) Close() {
+	if r.closed.Swap(true) {
+		return
+	}
+	for _, sh := range r.shards {
+		close(sh.requests)
+	}
+	r.wg.Wait()
+}
+
+// worker owns one shard: it is the only goroutine that ever reads or writes
+// the shard's entries, arena and counters.
+func (r *Registry) worker(sh *shard) {
+	defer r.wg.Done()
+	for req := range sh.requests {
+		var resp response
+		switch req.op {
+		case opElect:
+			resp.out = sh.elect(req.key, req.index)
+		case opRegister:
+			resp.out = Outcome{Key: req.key, Index: req.index, Leader: -1}
+			resp.out.Err = sh.register(req.key, req.cfg, req.compiled, r.trustDigests)
+		case opEvict:
+			if _, ok := sh.entries[req.key]; ok {
+				delete(sh.entries, req.key)
+				resp.evicted = true
+			}
+		case opStats:
+			resp.stats = sh.stats
+			resp.stats.Shard = sh.id
+			resp.stats.Configs = len(sh.entries)
+		}
+		req.reply <- resp
+	}
+}
+
+func (sh *shard) register(key string, cfg *config.Config, compiled *election.Compiled, trustDigests bool) error {
+	var (
+		d   *election.Dedicated
+		err error
+	)
+	switch {
+	case compiled != nil && trustDigests:
+		d, err = election.LoadTrusted(compiled, cfg)
+	case compiled != nil:
+		d, err = election.Load(compiled, cfg)
+	default:
+		d, err = election.BuildDedicatedInto(sh.arena, cfg)
+	}
+	if err != nil {
+		sh.stats.Failures++
+		return err
+	}
+	sh.stats.Builds++
+	e := sh.entries[key]
+	if e == nil {
+		e = &entry{}
+		sh.entries[key] = e
+	}
+	e.d = d // replacing a key keeps its reusable outcome buffers
+	return nil
+}
+
+func (sh *shard) elect(key string, index int) Outcome {
+	out := Outcome{Key: key, Index: index, Leader: -1}
+	e := sh.entries[key]
+	if e == nil {
+		sh.stats.Failures++
+		out.Err = fmt.Errorf("service: no configuration registered under %q", key)
+		return out
+	}
+	if err := e.d.ElectInto(&e.out, radio.Options{}); err != nil {
+		sh.stats.Failures++
+		out.Err = err
+		return out
+	}
+	if err := e.d.Verify(&e.out); err != nil {
+		sh.stats.Failures++
+		out.Err = err
+		return out
+	}
+	out.Leader = e.out.Leader()
+	out.Rounds = e.out.Rounds
+	sh.stats.Elections++
+	sh.stats.Rounds += int64(e.out.Rounds)
+	return out
+}
