@@ -38,6 +38,7 @@ import (
 	"anonradio/internal/harness"
 	"anonradio/internal/history"
 	"anonradio/internal/radio"
+	"anonradio/internal/server"
 	"anonradio/internal/service"
 )
 
@@ -369,6 +370,10 @@ type ServiceShardStats = service.ShardStats
 // ErrServiceClosed is returned by operations on a closed Service.
 var ErrServiceClosed = service.ErrClosed
 
+// ErrServiceUnknownKey is returned (wrapped) by served elections on a key
+// with no registered configuration.
+var ErrServiceUnknownKey = service.ErrUnknownKey
+
 // NewService starts a sharded election service. Admit configurations with
 // Register (build on the shard) or RegisterCompiled (load an artifact, with
 // the digest fast path), then serve steady-state elections with Elect /
@@ -377,6 +382,47 @@ func NewService(opts ServiceOptions) *Service { return service.New(opts) }
 
 // ServiceTotals folds per-shard snapshots into one aggregate.
 func ServiceTotals(stats []ServiceShardStats) ServiceShardStats { return service.Totals(stats) }
+
+// ServiceSnapshotManifest describes an on-disk registry snapshot: the
+// format version and one entry (key, artifact file, configuration file,
+// artifact digest) per persisted configuration.
+type ServiceSnapshotManifest = service.Manifest
+
+// ServiceRestoreReport summarizes a snapshot restore: entries re-admitted,
+// and how many went through the digest-trusted fast path versus the full
+// recompile-and-compare revalidation.
+type ServiceRestoreReport = service.RestoreReport
+
+// SnapshotService persists every configuration admitted in the service into
+// dir: one compiled artifact (the JSON of cmd/compile) and one
+// configuration file per key, plus a manifest of keys and artifact digests,
+// written last. See docs/SERVER.md for the on-disk format.
+func SnapshotService(s *Service, dir string) (*ServiceSnapshotManifest, error) {
+	return s.Snapshot(dir)
+}
+
+// RestoreService re-admits a snapshot directory into the service. Entries
+// whose artifact digest matches the manifest load through the
+// digest-trusted fast path (skipping recompilation — the cheap cold-start
+// path); mismatches fall back to the fully validated load.
+func RestoreService(s *Service, dir string) (*ServiceRestoreReport, error) {
+	return s.Restore(dir)
+}
+
+// Server is the HTTP/JSON front-end over a Service: register, elect, batch
+// elect, evict, stats and health endpoints with per-endpoint counters and
+// graceful shutdown. cmd/anonradiod is the deployable daemon around it; see
+// internal/server and docs/SERVER.md for the API.
+type Server = server.Server
+
+// ServerOptions configure a Server (body size cap, batch size cap, header
+// read timeout); the zero value is ready to use.
+type ServerOptions = server.Options
+
+// NewServer builds an HTTP server over svc. The service must outlive the
+// server; stop the server with Shutdown (the service's Close stays the
+// caller's job, typically after a final SnapshotService).
+func NewServer(svc *Service, opts ServerOptions) *Server { return server.New(svc, opts) }
 
 // BuildArena is a reusable scratch arena for building dedicated algorithms:
 // repeated builds reuse the classifier scratch and the canonical-run
@@ -479,7 +525,7 @@ func NewParallelSimulator(cfg *Config, workers int) (*Simulator, error) {
 	return radio.NewParallelSimulator(cfg, workers)
 }
 
-// RunExperiments regenerates every experiment table (E1-E12, A1) and writes
+// RunExperiments regenerates every experiment table (E1-E13, A1) and writes
 // them to w. With quick=true a reduced parameter sweep is used. The election
 // experiments run on the sequential engine; use RunExperimentsOn to choose.
 func RunExperiments(w io.Writer, quick bool, seed int64) error {
@@ -497,7 +543,7 @@ func RunExperimentsOn(w io.Writer, quick bool, seed int64, kind EngineKind) erro
 	return harness.RunAll(harness.Options{Quick: quick, Seed: seed, Engine: eng}, w)
 }
 
-// RunExperiment runs a single experiment by ID ("E1".."E10") and returns its
+// RunExperiment runs a single experiment by ID ("E1".."E13", "A1") and returns its
 // table.
 func RunExperiment(id string, quick bool, seed int64) (*ExperimentTable, error) {
 	return RunExperimentOn(id, quick, seed, SequentialEngine)

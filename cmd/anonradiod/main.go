@@ -1,0 +1,122 @@
+// Command anonradiod is the election server daemon: it serves the sharded
+// election service of internal/service over the HTTP/JSON API of
+// internal/server (register, elect, batch elect, evict, stats, health).
+//
+// The daemon owns the registry lifecycle around the network layer:
+//
+//   - with -restore-on-boot it re-admits a snapshot directory through the
+//     digest-trusted artifact fast path before the listener opens, so a
+//     cold restart skips reclassifying and recompiling the fleet;
+//   - on SIGINT/SIGTERM it shuts the listener down gracefully (in-flight
+//     requests complete, bounded by -shutdown-timeout) and, with
+//     -snapshot-on-shutdown, persists the then-quiescent registry.
+//
+// Usage:
+//
+//	anonradiod [-listen :8080] [-shards N] [-queue-depth N] [-trust-artifacts]
+//	           [-snapshot-dir DIR] [-restore-on-boot] [-snapshot-on-shutdown]
+//	           [-shutdown-timeout 10s]
+//
+// A minimal session against a running daemon:
+//
+//	anonradiod -listen 127.0.0.1:8080 &
+//	curl -s 127.0.0.1:8080/healthz
+//	jq -n --rawfile c cfg.txt '{key:"demo", config:$c}' |
+//	    curl -s -X POST --data-binary @- 127.0.0.1:8080/v1/register
+//	curl -s -X POST -d '{"key":"demo"}' 127.0.0.1:8080/v1/elect
+//
+// See docs/SERVER.md for the full API reference and operations guide.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"anonradio/internal/server"
+	"anonradio/internal/service"
+)
+
+func main() {
+	var (
+		listen          = flag.String("listen", ":8080", "listen address")
+		shards          = flag.Int("shards", 0, "worker-owned shards (0 = GOMAXPROCS)")
+		queueDepth      = flag.Int("queue-depth", 0, "per-shard request queue depth (0 = default)")
+		trust           = flag.Bool("trust-artifacts", false, "trust compiled artifacts registered over HTTP: a verifying phase-table digest skips the recompile validation (enable only when every client is your own pipeline)")
+		snapshotDir     = flag.String("snapshot-dir", "", "snapshot directory for -restore-on-boot / -snapshot-on-shutdown")
+		restoreOnBoot   = flag.Bool("restore-on-boot", false, "restore -snapshot-dir before the listener opens (missing manifest is not an error; the daemon starts empty)")
+		snapOnShutdown  = flag.Bool("snapshot-on-shutdown", false, "snapshot the registry into -snapshot-dir after the graceful shutdown")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "how long a graceful shutdown may wait for in-flight requests")
+		maxBatch        = flag.Int("max-batch", 0, "largest accepted /v1/elect/batch key count (0 = default 8192)")
+	)
+	flag.Parse()
+	log.SetPrefix("anonradiod: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	if (*restoreOnBoot || *snapOnShutdown) && *snapshotDir == "" {
+		log.Fatal("-restore-on-boot and -snapshot-on-shutdown require -snapshot-dir")
+	}
+
+	reg := service.New(service.Options{
+		Shards:               *shards,
+		QueueDepth:           *queueDepth,
+		TrustCompiledDigests: *trust,
+	})
+	defer reg.Close()
+
+	if *restoreOnBoot {
+		start := time.Now()
+		report, err := server.LoadSnapshot(reg, *snapshotDir)
+		switch {
+		case err != nil && errors.Is(err, os.ErrNotExist):
+			log.Printf("no snapshot at %s; starting empty", *snapshotDir)
+		case err != nil:
+			log.Fatalf("restoring %s: %v", *snapshotDir, err)
+		default:
+			log.Printf("restored %d configurations from %s in %s (%d digest-trusted, %d revalidated)",
+				report.Entries, *snapshotDir, time.Since(start).Round(time.Millisecond), report.Trusted, report.Revalidated)
+		}
+	}
+
+	srv := server.New(reg, server.Options{MaxBatchKeys: *maxBatch})
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*listen) }()
+	log.Printf("serving on %s (%d shards)", *listen, reg.Shards())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		log.Printf("received %s; draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("shutdown: %v (continuing)", err)
+		}
+		if err := <-done; err != nil && err != http.ErrServerClosed {
+			log.Printf("serve: %v", err)
+		}
+	case err := <-done:
+		// The listener died on its own (port in use, ...): nothing to drain.
+		log.Fatalf("serve: %v", err)
+	}
+
+	if *snapOnShutdown {
+		start := time.Now()
+		manifest, err := reg.Snapshot(*snapshotDir)
+		if err != nil {
+			log.Fatalf("snapshotting to %s: %v", *snapshotDir, err)
+		}
+		log.Printf("snapshotted %d configurations to %s in %s",
+			len(manifest.Entries), *snapshotDir, time.Since(start).Round(time.Millisecond))
+	}
+	total := service.Totals(reg.Stats())
+	log.Printf("served %d elections (%d failures); bye", total.Elections, total.Failures)
+}

@@ -12,6 +12,14 @@
 // phase. The node determines that class on its own by matching its history
 // of the previous phase against the per-class entries of L_j, which are
 // hard-coded into the protocol.
+//
+// The protocol is compiled once into a PhaseTable (per-round plans plus
+// flat expected-history rows), which is what DRIP.Act executes and what
+// compiled election artifacts embed; ArtifactDigest binds a blueprint and
+// its table together so trusted loaders (election.LoadTrusted, the service
+// snapshot restore) can adopt an embedded table without recompiling. The
+// paper-faithful matcher survives as ActReference and remains the
+// specification in the property tests.
 package canonical
 
 import (

@@ -4,6 +4,17 @@
 // execute it on the radio simulator, and verify the outcome. It also
 // provides executable replays of the paper's impossibility arguments
 // (Propositions 4.4 and 4.5).
+//
+// The pipeline has a build side and a serve side. Building (BuildDedicated,
+// or BuildDedicatedInto on a reusable BuildArena) classifies with the turbo
+// engine of package core and derives the canonical DRIP of package
+// canonical; serving (Dedicated.Elect / ElectInto) replays the protocol on
+// a pooled radio.Simulator at zero allocations per election. A built
+// algorithm can be persisted as a Compiled artifact — exactly what the
+// paper installs on the anonymous nodes — and loaded back with Load (full
+// validation) or LoadTrusted (the digest fast path for artifacts from a
+// trusted pipeline). Package service serves fleets of these algorithms from
+// worker-owned shards, and internal/server exposes that registry over HTTP.
 package election
 
 import (

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"anonradio/internal/config"
+	"anonradio/internal/server"
+	"anonradio/internal/service"
+)
+
+// E13ServedThroughput measures what the HTTP front-end costs: the same
+// election workload is served once through in-process Registry.ElectBatch
+// and once over a loopback HTTP connection (single /v1/elect requests and
+// /v1/elect/batch at increasing batch sizes), against one shared registry.
+// Every served outcome is checked against the in-process outcome for its
+// key, so the table doubles as an end-to-end agreement check between the
+// wire format and the registry. The per-election gap is the price of HTTP
+// transport plus JSON codec; batching amortizes it, which is the point of
+// the batch endpoint.
+func E13ServedThroughput(opts Options) (*Table, error) {
+	nCfgs, size, elections := 8, 16, 2000
+	batchSizes := []int{1, 8, 64}
+	if opts.Quick {
+		nCfgs, size, elections = 4, 10, 200
+		batchSizes = []int{1, 8}
+	}
+
+	reg := service.New(service.Options{})
+	defer reg.Close()
+	keys := make([]string, nCfgs)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cfg-%d", i)
+		var cfg *config.Config
+		if i%2 == 0 {
+			cfg = config.StaggeredClique(size + i)
+		} else {
+			cfg = config.StaggeredPath(size+i, 1)
+		}
+		if err := reg.Register(keys[i], cfg); err != nil {
+			return nil, fmt.Errorf("E13 register %s: %w", keys[i], err)
+		}
+	}
+
+	// In-process reference outcomes (also the warm-up) and baseline timing.
+	outs, err := reg.ElectBatch(keys, nil)
+	if err != nil {
+		return nil, fmt.Errorf("E13 warm-up: %w", err)
+	}
+	leaders := make([]int, nCfgs)
+	rounds := make([]int, nCfgs)
+	for i, o := range outs {
+		leaders[i], rounds[i] = o.Leader, o.Rounds
+	}
+	workload := make([]string, 0, elections)
+	for len(workload) < elections {
+		workload = append(workload, keys[len(workload)%nCfgs])
+	}
+	start := time.Now()
+	for done := 0; done < elections; done += nCfgs {
+		if outs, err = reg.ElectBatch(keys, outs); err != nil {
+			return nil, fmt.Errorf("E13 in-process serve: %w", err)
+		}
+	}
+	inProcess := time.Since(start)
+	inProcessPer := inProcess / time.Duration(elections)
+
+	// HTTP side: one server on a loopback listener, one keep-alive client.
+	srv := server.New(reg, server.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("E13 listen: %w", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-serveDone
+	}()
+	base := "http://" + l.Addr().String()
+	client := &http.Client{}
+
+	table := NewTable("E13: HTTP serving overhead (served vs in-process ElectBatch)",
+		"mode", "batch", "elections", "total time", "per-elect", "vs in-process", "agree")
+	table.AddRow("in-process", fmt.Sprintf("%d", nCfgs), fmt.Sprintf("%d", elections),
+		inProcess.Round(time.Millisecond).String(), inProcessPer.Round(100*time.Nanosecond).String(), "1.00x", "true")
+
+	check := func(key string, leader, round int) bool {
+		for i, k := range keys {
+			if k == key {
+				return leader == leaders[i] && round == rounds[i]
+			}
+		}
+		return false
+	}
+
+	for _, batch := range batchSizes {
+		agree := true
+		served := 0
+		start := time.Now()
+		if batch == 1 {
+			for _, key := range workload {
+				body, _ := json.Marshal(server.ElectRequest{Key: key})
+				resp, err := client.Post(base+"/v1/elect", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return nil, fmt.Errorf("E13 HTTP elect: %w", err)
+				}
+				var out server.Outcome
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					return nil, fmt.Errorf("E13 HTTP elect decode: %w", err)
+				}
+				if !out.Elected || !check(out.Key, out.Leader, out.Rounds) {
+					agree = false
+				}
+				served++
+			}
+		} else {
+			for done := 0; done < elections; done += batch {
+				chunk := batch
+				if rest := elections - done; rest < chunk {
+					chunk = rest
+				}
+				body, _ := json.Marshal(server.BatchRequest{Keys: workload[done : done+chunk]})
+				resp, err := client.Post(base+"/v1/elect/batch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return nil, fmt.Errorf("E13 HTTP batch: %w", err)
+				}
+				var out server.BatchResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					return nil, fmt.Errorf("E13 HTTP batch decode: %w", err)
+				}
+				if out.Failures != 0 || len(out.Outcomes) != chunk {
+					agree = false
+				}
+				for _, o := range out.Outcomes {
+					if !o.Elected || !check(o.Key, o.Leader, o.Rounds) {
+						agree = false
+					}
+				}
+				served += chunk
+			}
+		}
+		elapsed := time.Since(start)
+		per := elapsed / time.Duration(served)
+		table.AddRow(
+			"HTTP", fmt.Sprintf("%d", batch), fmt.Sprintf("%d", served),
+			elapsed.Round(time.Millisecond).String(),
+			per.Round(100*time.Nanosecond).String(),
+			fmt.Sprintf("%.2fx", float64(per)/float64(inProcessPer)),
+			fmt.Sprintf("%v", agree),
+		)
+		if !agree {
+			return nil, fmt.Errorf("E13: served outcomes diverged from in-process at batch=%d", batch)
+		}
+	}
+
+	table.AddNote("one loopback HTTP connection (keep-alive), one in-process goroutine; shards = GOMAXPROCS")
+	table.AddNote("vs in-process is the per-election slowdown of the wire: HTTP transport + JSON codec, amortized by batching")
+	table.AddNote("agreement: every served outcome matched the in-process leader and round count for its key")
+	return table, nil
+}

@@ -55,7 +55,7 @@ func (o Options) trials(def, quick int) int {
 
 // Experiment is one runnable experiment.
 type Experiment struct {
-	// ID is the experiment identifier ("E1" .. "E12", "A1").
+	// ID is the experiment identifier ("E1" .. "E13", "A1").
 	ID string
 	// Name is a short description.
 	Name string
@@ -78,6 +78,7 @@ func All() []Experiment {
 		{ID: "E10", Name: "Radio-model refinement vs colour refinement (structural comparison)", Run: E10Structure},
 		{ID: "E11", Name: "Automorphism certificate vs Classifier (structural comparison)", Run: E11Symmetry},
 		{ID: "E12", Name: "Sharded election service throughput (substrate validation)", Run: E12ServiceThroughput},
+		{ID: "E13", Name: "HTTP serving overhead (served vs in-process ElectBatch)", Run: E13ServedThroughput},
 		{ID: "A1", Name: "Ablation: Refine implementation (representative scan vs hashing)", Run: A1RefineAblation},
 	}
 }

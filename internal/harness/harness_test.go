@@ -30,8 +30,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(all))
+	if len(all) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -234,9 +234,24 @@ func TestRunAllQuick(t *testing.T) {
 		t.Fatalf("%v", err)
 	}
 	out := sb.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "A1"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1"} {
 		if !strings.Contains(out, "## "+id) {
 			t.Fatalf("RunAll output missing %s", id)
+		}
+	}
+}
+
+func TestE13ServedThroughput(t *testing.T) {
+	table, err := E13ServedThroughput(quickOpts())
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("expected 3 rows (in-process + 2 batch sizes), got %d", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("served outcomes disagreed with in-process: %v", row)
 		}
 	}
 }

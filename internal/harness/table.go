@@ -1,6 +1,6 @@
 // Package harness implements the experiment harness of the reproduction: the
 // workload generators, parameter sweeps and result tables for experiments
-// E1-E12 and A1. Each experiment validates
+// E1-E13 and A1. Each experiment validates
 // one of the paper's quantitative claims (or provides baseline /
 // substrate-validation context) and renders its results as a plain-text
 // table so that `cmd/experiments` can regenerate the evaluation end to end.

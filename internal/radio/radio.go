@@ -31,6 +31,12 @@
 // goroutine-per-node coordinator, retained as an independent semantic
 // reference. All implement identical semantics and the tests assert
 // bit-identical histories across every engine.
+//
+// In the repository's layering, radio is the execution substrate: package
+// election runs canonical DRIPs (package canonical) on it to build and
+// verify dedicated algorithms, and package service binds one reusable
+// Simulator per registered configuration for zero-alloc steady-state
+// serving.
 package radio
 
 import (

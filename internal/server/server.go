@@ -1,0 +1,442 @@
+// Package server is the HTTP/JSON front-end of the sharded election
+// service: the layer that turns an in-process service.Registry into a
+// deployable network server (cmd/anonradiod).
+//
+// The surface is deliberately small and maps one-to-one onto the registry:
+//
+//	POST   /v1/register       admit a configuration (text format) or a
+//	                          compiled artifact under a key
+//	POST   /v1/elect          serve one election for a key
+//	POST   /v1/elect/batch    serve one election per key, batched onto
+//	                          Registry.ElectBatch (fans out across shards)
+//	DELETE /v1/configs/{key}  evict a key
+//	GET    /v1/stats          per-shard registry counters plus per-endpoint
+//	                          request/latency/outcome counters
+//	GET    /healthz           liveness (also reports configs and shards)
+//
+// Handlers do no election work themselves: they decode JSON, hand the
+// request to the registry (whose worker-owned shards serve the zero-alloc
+// election path), and encode the value-typed outcome. Served outcomes are
+// therefore bit-identical to in-process Registry.Elect — the HTTP layer
+// adds transport and accounting, never semantics.
+//
+// The server also wires the snapshot layer to deployment: LoadSnapshot
+// re-admits a snapshot directory through the digest-trusted fast path
+// before the listener opens, and Shutdown drains in-flight requests so a
+// snapshot taken afterwards is consistent. See docs/SERVER.md for the full
+// API reference and the operations guide.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"anonradio/internal/config"
+	"anonradio/internal/election"
+	"anonradio/internal/service"
+)
+
+// Options configure a Server. The zero value is ready to use.
+type Options struct {
+	// MaxBodyBytes caps the request body size; <= 0 selects 32 MiB
+	// (compiled artifacts for large configurations are megabytes of JSON).
+	MaxBodyBytes int64
+	// MaxBatchKeys caps the number of keys of one batch election request;
+	// <= 0 selects 8192. Larger batches are rejected with 400 rather than
+	// letting one request monopolize every shard queue.
+	MaxBatchKeys int
+	// ReadHeaderTimeout bounds how long a connection may take to send its
+	// request header; <= 0 selects 5s.
+	ReadHeaderTimeout time.Duration
+}
+
+// Server serves a service.Registry over HTTP. Create it with New, start it
+// with Serve or ListenAndServe, and stop it with Shutdown (which drains
+// in-flight requests). The Server never closes the registry — its owner
+// decides when to snapshot and close.
+type Server struct {
+	reg     *service.Registry
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	metrics [epCount]endpointMetrics
+	start   time.Time
+	opts    Options
+}
+
+// New builds a server over reg. The registry must outlive the server.
+func New(reg *service.Registry, opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 32 << 20
+	}
+	if opts.MaxBatchKeys <= 0 {
+		opts.MaxBatchKeys = 8192
+	}
+	if opts.ReadHeaderTimeout <= 0 {
+		opts.ReadHeaderTimeout = 5 * time.Second
+	}
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(), opts: opts}
+	s.mux.HandleFunc("POST /v1/register", s.instrument(epRegister, s.handleRegister))
+	s.mux.HandleFunc("POST /v1/elect", s.instrument(epElect, s.handleElect))
+	s.mux.HandleFunc("POST /v1/elect/batch", s.instrument(epElectBatch, s.handleElectBatch))
+	s.mux.HandleFunc("DELETE /v1/configs/{key...}", s.instrument(epEvict, s.handleEvict))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument(epStats, s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: opts.ReadHeaderTimeout}
+	return s
+}
+
+// Registry returns the registry the server serves.
+func (s *Server) Registry() *service.Registry { return s.reg }
+
+// Handler returns the routing handler (useful for tests and embedding the
+// API under a larger mux).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown (or a listener error). Like
+// net/http, it returns http.ErrServerClosed after a clean Shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.httpSrv.Serve(l) }
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	s.httpSrv.Addr = addr
+	return s.httpSrv.ListenAndServe()
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight requests run to completion (bounded by ctx), and new requests
+// are refused. After Shutdown returns, the registry is quiescent from the
+// server's side — the natural moment for Registry.Snapshot.
+func (s *Server) Shutdown(ctx context.Context) error { return s.httpSrv.Shutdown(ctx) }
+
+// LoadSnapshot restores the snapshot in dir into the server's registry via
+// the digest-trusted fast path (see service.Registry.Restore); call it
+// before Serve so the first request already sees the restored keys.
+func (s *Server) LoadSnapshot(dir string) (*service.RestoreReport, error) {
+	return LoadSnapshot(s.reg, dir)
+}
+
+// LoadSnapshot restores the snapshot in dir into reg: every manifest entry
+// whose artifact digest matches is re-admitted through the digest-trusted
+// load fast path, skipping recompilation on cold restarts; mismatches fall
+// back to the fully validated load.
+func LoadSnapshot(reg *service.Registry, dir string) (*service.RestoreReport, error) {
+	return reg.Restore(dir)
+}
+
+// RegisterRequest is the body of POST /v1/register.
+type RegisterRequest struct {
+	// Key is the registry key to admit the configuration under.
+	Key string `json:"key"`
+	// Config is the configuration in the text format of internal/config
+	// ("nodes N / tag v t / edge u v" lines). Always required: a compiled
+	// artifact deliberately carries only what the anonymous nodes need, not
+	// the network itself.
+	Config string `json:"config"`
+	// Artifact optionally carries a compiled algorithm (the JSON written by
+	// cmd/compile or a snapshot). When present the registry loads it instead
+	// of classifying and building; validation policy follows the registry's
+	// TrustCompiledDigests option.
+	Artifact *election.Compiled `json:"artifact,omitempty"`
+}
+
+// RegisterResponse is the body of a successful POST /v1/register.
+type RegisterResponse struct {
+	// Key is the admitted key.
+	Key string `json:"key"`
+	// Source is "built" (classified and compiled server-side) or "artifact"
+	// (loaded from the request's compiled artifact).
+	Source string `json:"source"`
+}
+
+// ElectRequest is the body of POST /v1/elect.
+type ElectRequest struct {
+	// Key is the registry key to elect on.
+	Key string `json:"key"`
+}
+
+// Outcome is the JSON form of one served election.
+type Outcome struct {
+	// Key is the configuration key the election ran for.
+	Key string `json:"key"`
+	// Elected reports whether the election succeeded.
+	Elected bool `json:"elected"`
+	// Leader is the elected node (-1 when the election failed).
+	Leader int `json:"leader"`
+	// Rounds is the number of global rounds of the election.
+	Rounds int `json:"rounds"`
+	// Error carries the per-key failure, when there is one.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/elect/batch.
+type BatchRequest struct {
+	// Keys are the registry keys to elect on; outcome i corresponds to
+	// keys[i].
+	Keys []string `json:"keys"`
+}
+
+// BatchResponse is the body of POST /v1/elect/batch. The request itself
+// succeeds (200) whenever it was well-formed; per-key failures are reported
+// in their outcome slot and counted in Failures.
+type BatchResponse struct {
+	// Outcomes has one entry per submitted key, in submission order.
+	Outcomes []Outcome `json:"outcomes"`
+	// Failures counts outcomes whose Error is set.
+	Failures int `json:"failures"`
+}
+
+// EvictResponse is the body of a successful DELETE /v1/configs/{key}.
+type EvictResponse struct {
+	// Key is the evicted key.
+	Key string `json:"key"`
+	// Evicted is always true on the 200 path (a missing key is a 404).
+	Evicted bool `json:"evicted"`
+}
+
+// ShardStats mirrors service.ShardStats with JSON tags.
+type ShardStats struct {
+	// Shard is the shard index (-1 in the totals row).
+	Shard int `json:"shard"`
+	// Configs is the number of registered configurations.
+	Configs int `json:"configs"`
+	// Builds counts successful admissions.
+	Builds int64 `json:"builds"`
+	// Elections counts successfully served elections.
+	Elections int64 `json:"elections"`
+	// Failures counts failed operations.
+	Failures int64 `json:"failures"`
+	// Rounds accumulates the global rounds of all served elections.
+	Rounds int64 `json:"rounds"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	// UptimeSeconds is the time since the server was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Shards holds one row of registry counters per shard.
+	Shards []ShardStats `json:"shards"`
+	// Totals folds the shard rows into one aggregate (Shard is -1).
+	Totals ShardStats `json:"totals"`
+	// Endpoints holds the per-endpoint request/latency/outcome counters.
+	Endpoints []EndpointStats `json:"endpoints"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	// Status is "ok" while the server answers at all.
+	Status string `json:"status"`
+	// Configs is the number of registered configurations.
+	Configs int `json:"configs"`
+	// Shards is the registry's shard count.
+	Shards int `json:"shards"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	// Error is the human-readable failure.
+	Error string `json:"error"`
+}
+
+// statusRecorder captures the status a handler wrote so the endpoint
+// metrics can classify the request.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with the endpoint's latency/outcome counters
+// and the request-body cap.
+func (s *Server) instrument(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
+	m := &s.metrics[ep]
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		m.observe(time.Since(start), rec.status >= 400)
+	}
+}
+
+// writeJSON encodes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status is already on the wire; nothing to do on error
+}
+
+// writeError encodes err with the status its kind maps to.
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), ErrorResponse{Error: err.Error()})
+}
+
+// statusFor maps service/election errors onto HTTP statuses: unknown keys
+// are 404, a closed registry is 503 (the daemon is shutting down),
+// infeasible configurations are 422 (well-formed but inadmissible), and
+// anything else is 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, service.ErrUnknownKey):
+		return http.StatusNotFound
+	case errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, election.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// decode parses the request body into v, answering 400 itself on failure.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("decoding request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Key == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing key"})
+		return
+	}
+	if req.Config == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing config (the text format of internal/config; required even with an artifact)"})
+		return
+	}
+	cfg, err := config.Unmarshal(req.Config)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("parsing config: %v", err)})
+		return
+	}
+	source := "built"
+	if req.Artifact != nil {
+		source = "artifact"
+		err = s.reg.RegisterCompiled(req.Key, req.Artifact, cfg)
+	} else {
+		err = s.reg.Register(req.Key, cfg)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{Key: req.Key, Source: source})
+}
+
+// outcomeJSON converts a served outcome to its wire form.
+func outcomeJSON(o service.Outcome) Outcome {
+	out := Outcome{Key: o.Key, Elected: o.Elected(), Leader: o.Leader, Rounds: o.Rounds}
+	if o.Err != nil {
+		out.Error = o.Err.Error()
+	}
+	return out
+}
+
+func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
+	var req ElectRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Key == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing key"})
+		return
+	}
+	out, err := s.reg.Elect(req.Key)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics[epElect].elections.Add(1)
+	writeJSON(w, http.StatusOK, outcomeJSON(out))
+}
+
+func (s *Server) handleElectBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Keys) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing keys"})
+		return
+	}
+	if len(req.Keys) > s.opts.MaxBatchKeys {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("batch of %d keys exceeds the limit of %d", len(req.Keys), s.opts.MaxBatchKeys)})
+		return
+	}
+	outs, err := s.reg.ElectBatch(req.Keys, nil)
+	if err != nil && errors.Is(err, service.ErrClosed) {
+		writeError(w, err)
+		return
+	}
+	resp := BatchResponse{Outcomes: make([]Outcome, len(outs))}
+	for i, o := range outs {
+		resp.Outcomes[i] = outcomeJSON(o)
+		if o.Err != nil {
+			resp.Failures++
+		}
+	}
+	s.metrics[epElectBatch].elections.Add(int64(len(outs) - resp.Failures))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if key == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing key"})
+		return
+	}
+	if !s.reg.Evict(key) {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("no configuration registered under %q", key)})
+		return
+	}
+	writeJSON(w, http.StatusOK, EvictResponse{Key: key, Evicted: true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := s.reg.Stats()
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Shards:        make([]ShardStats, len(stats)),
+		Totals:        shardStatsJSON(service.Totals(stats)),
+	}
+	for i, st := range stats {
+		resp.Shards[i] = shardStatsJSON(st)
+	}
+	for ep := endpoint(0); ep < epCount; ep++ {
+		resp.Endpoints = append(resp.Endpoints, s.metrics[ep].snapshot(ep))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func shardStatsJSON(s service.ShardStats) ShardStats {
+	return ShardStats{
+		Shard:     s.Shard,
+		Configs:   s.Configs,
+		Builds:    s.Builds,
+		Elections: s.Elections,
+		Failures:  s.Failures,
+		Rounds:    s.Rounds,
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Configs: s.reg.Len(), Shards: s.reg.Shards()})
+}

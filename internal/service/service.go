@@ -19,6 +19,14 @@
 // per-node histories (which live in worker-owned buffers and are
 // overwritten by the next election on the same configuration). Callers that
 // want to inspect full executions should build a Dedicated directly.
+//
+// A registry can be persisted and revived: Snapshot writes every admitted
+// configuration as a compiled artifact plus a manifest of keys and artifact
+// digests, and Restore re-admits the set through the digest-trusted load
+// fast path, so a cold restart parses artifacts instead of re-running the
+// classifier and the DRIP compiler. Package internal/server exposes a
+// Registry over HTTP/JSON, and cmd/anonradiod is the deployable daemon
+// around both.
 package service
 
 import (
@@ -36,6 +44,10 @@ import (
 
 // ErrClosed is returned by operations on a closed registry.
 var ErrClosed = errors.New("service: registry is closed")
+
+// ErrUnknownKey is returned (wrapped, naming the key) by elections on a key
+// with no registered configuration.
+var ErrUnknownKey = errors.New("service: unknown key")
 
 // Options configure a Registry.
 type Options struct {
@@ -110,6 +122,21 @@ const (
 	opRegister
 	opEvict
 	opStats
+	opSnapshot
+)
+
+// trustMode selects the artifact-validation path of one registration.
+type trustMode uint8
+
+const (
+	// trustRegistry follows the registry-wide Options.TrustCompiledDigests.
+	trustRegistry trustMode = iota
+	// trustDigest selects the digest fast path for this request regardless of
+	// the registry option (used by Restore, whose manifest cross-checks the
+	// digest before asking for trust).
+	trustDigest
+	// trustFull forces the full recompile-and-compare validation.
+	trustFull
 )
 
 // request is one operation handed to a shard worker. It travels by value
@@ -120,6 +147,7 @@ type request struct {
 	index    int
 	cfg      *config.Config
 	compiled *election.Compiled
+	trust    trustMode
 	reply    chan response
 }
 
@@ -128,6 +156,7 @@ type response struct {
 	out     Outcome
 	stats   ShardStats
 	evicted bool
+	entries []SnapshotEntry
 }
 
 // entry is one registered configuration: the dedicated algorithm plus the
@@ -353,7 +382,8 @@ func (r *Registry) worker(sh *shard) {
 			resp.out = sh.elect(req.key, req.index)
 		case opRegister:
 			resp.out = Outcome{Key: req.key, Index: req.index, Leader: -1}
-			resp.out.Err = sh.register(req.key, req.cfg, req.compiled, r.trustDigests)
+			trusted := req.trust == trustDigest || (req.trust == trustRegistry && r.trustDigests)
+			resp.out.Err = sh.register(req.key, req.cfg, req.compiled, trusted)
 		case opEvict:
 			if _, ok := sh.entries[req.key]; ok {
 				delete(sh.entries, req.key)
@@ -363,6 +393,8 @@ func (r *Registry) worker(sh *shard) {
 			resp.stats = sh.stats
 			resp.stats.Shard = sh.id
 			resp.stats.Configs = len(sh.entries)
+		case opSnapshot:
+			resp.entries = sh.snapshot()
 		}
 		req.reply <- resp
 	}
@@ -400,7 +432,7 @@ func (sh *shard) elect(key string, index int) Outcome {
 	e := sh.entries[key]
 	if e == nil {
 		sh.stats.Failures++
-		out.Err = fmt.Errorf("service: no configuration registered under %q", key)
+		out.Err = fmt.Errorf("%w: no configuration registered under %q", ErrUnknownKey, key)
 		return out
 	}
 	if err := e.d.ElectInto(&e.out, radio.Options{}); err != nil {

@@ -1,0 +1,324 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"anonradio/internal/config"
+	"anonradio/internal/election"
+)
+
+// This file implements registry snapshot and restore: a warm registry is
+// persisted as one compiled artifact plus one configuration file per
+// admitted key, tied together by a manifest, and a cold registry re-admits
+// the whole set through the digest-trusted artifact fast path — a restart
+// pays for parsing and loading, never for reclassifying and recompiling.
+//
+// On-disk layout of a snapshot directory:
+//
+//	manifest.json        — Manifest: version, shard count, one entry per key
+//	NNNN.artifact.json   — election.Compiled (the same JSON cmd/compile
+//	                       writes; each artifact is independently usable
+//	                       with `elect -compiled`)
+//	NNNN.config.txt      — the configuration in the text format of
+//	                       internal/config (usable with `elect -config`)
+//
+// Files are numbered in sorted key order, so a snapshot of a given
+// registry content is byte-stable; keys themselves live only inside the
+// manifest (they are arbitrary strings and do not make safe file names).
+
+// ManifestVersion is the snapshot format version written by Snapshot.
+const ManifestVersion = 1
+
+// SnapshotEntry is one admitted configuration as gathered from its shard:
+// the key, the (normalized) configuration, and the compiled artifact of the
+// dedicated algorithm serving it.
+type SnapshotEntry struct {
+	// Key is the registry key the configuration is admitted under.
+	Key string
+	// Config is the normalized configuration the entry's algorithm is
+	// dedicated to.
+	Config *config.Config
+	// Artifact is the compiled algorithm (blueprint, leader history, phase
+	// table, artifact digest), exactly as cmd/compile would emit it.
+	Artifact *election.Compiled
+}
+
+// ManifestEntry locates one snapshot entry on disk.
+type ManifestEntry struct {
+	// Key is the registry key to re-admit the configuration under.
+	Key string `json:"key"`
+	// ConfigFile is the configuration file, relative to the snapshot
+	// directory.
+	ConfigFile string `json:"config_file"`
+	// ArtifactFile is the compiled-artifact file, relative to the snapshot
+	// directory.
+	ArtifactFile string `json:"artifact_file"`
+	// ArtifactDigest is the artifact's content digest as recorded at
+	// snapshot time. Restore cross-checks it against the artifact file's own
+	// digest: a match selects the digest-trusted load fast path, a mismatch
+	// falls back to the full recompile-and-compare validation.
+	ArtifactDigest string `json:"artifact_digest"`
+	// Nodes is the configuration size (informational, for operators reading
+	// the manifest).
+	Nodes int `json:"nodes"`
+}
+
+// Manifest describes a snapshot directory.
+type Manifest struct {
+	// Version is the snapshot format version (ManifestVersion).
+	Version int `json:"version"`
+	// Shards is the shard count of the registry the snapshot was taken from
+	// (informational; a snapshot restores into any shard count).
+	Shards int `json:"shards"`
+	// Entries lists every persisted configuration, in sorted key order.
+	Entries []ManifestEntry `json:"entries"`
+}
+
+// ManifestFile is the manifest's file name inside a snapshot directory.
+const ManifestFile = "manifest.json"
+
+// RestoreReport summarizes one Restore.
+type RestoreReport struct {
+	// Entries is the number of configurations re-admitted.
+	Entries int
+	// Trusted counts entries admitted through the digest-trusted fast path
+	// (manifest digest and artifact digest agreed and verified).
+	Trusted int
+	// Revalidated counts entries that fell back to the full
+	// recompile-and-compare validation (missing or mismatched digest).
+	Revalidated int
+}
+
+// SnapshotEntries walks every shard and gathers the admitted configurations
+// with their compiled artifacts, in sorted key order. Each shard is visited
+// with one synchronous request on its worker, so every per-shard slice is
+// internally consistent (concurrent admissions land in the snapshot iff
+// they reached their shard first).
+func (r *Registry) SnapshotEntries() ([]SnapshotEntry, error) {
+	if r.closed.Load() {
+		return nil, ErrClosed
+	}
+	var entries []SnapshotEntry
+	for _, sh := range r.shards {
+		entries = append(entries, r.do(sh, request{op: opSnapshot}).entries...)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return entries, nil
+}
+
+// Snapshot persists the registry's admitted configurations into dir (created
+// if needed): one compiled artifact and one configuration file per key, plus
+// a manifest recording keys and artifact digests.
+//
+// The write is staged so an interrupted snapshot can never produce a
+// manifest that names the wrong data: every data file is first written
+// under a temporary name (leaving a previous snapshot in dir fully
+// intact), then the previous manifest is removed, the data files are
+// renamed into place, and the new manifest is committed last via rename.
+// A crash therefore leaves either the old snapshot, or a directory whose
+// missing manifest makes Restore fail loudly — never a manifest pointing
+// at another snapshot's files.
+func (r *Registry) Snapshot(dir string) (*Manifest, error) {
+	entries, err := r.SnapshotEntries()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating snapshot directory: %w", err)
+	}
+	// Stage: write all data files under temporary names.
+	const stageSuffix = ".staged"
+	m := &Manifest{Version: ManifestVersion, Shards: len(r.shards)}
+	for i, e := range entries {
+		me := ManifestEntry{
+			Key:            e.Key,
+			ConfigFile:     fmt.Sprintf("%04d.config.txt", i),
+			ArtifactFile:   fmt.Sprintf("%04d.artifact.json", i),
+			ArtifactDigest: e.Artifact.ArtifactDigest,
+			Nodes:          e.Config.N(),
+		}
+		data, err := json.MarshalIndent(e.Artifact, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("service: encoding artifact for %q: %w", e.Key, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, me.ArtifactFile+stageSuffix), append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("service: writing artifact for %q: %w", e.Key, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, me.ConfigFile+stageSuffix), []byte(e.Config.Marshal()), 0o644); err != nil {
+			return nil, fmt.Errorf("service: writing configuration for %q: %w", e.Key, err)
+		}
+		m.Entries = append(m.Entries, me)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile+stageSuffix), append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("service: writing manifest: %w", err)
+	}
+	// Commit: invalidate the previous snapshot, move the staged files into
+	// place, and publish the new manifest last.
+	if err := os.Remove(filepath.Join(dir, ManifestFile)); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("service: removing previous manifest: %w", err)
+	}
+	for _, me := range m.Entries {
+		for _, f := range []string{me.ArtifactFile, me.ConfigFile} {
+			if err := os.Rename(filepath.Join(dir, f+stageSuffix), filepath.Join(dir, f)); err != nil {
+				return nil, fmt.Errorf("service: committing %s: %w", f, err)
+			}
+		}
+	}
+	if err := os.Rename(filepath.Join(dir, ManifestFile+stageSuffix), filepath.Join(dir, ManifestFile)); err != nil {
+		return nil, fmt.Errorf("service: committing manifest: %w", err)
+	}
+	return m, nil
+}
+
+// ReadManifest reads and validates the manifest of a snapshot directory.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("service: reading snapshot manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("service: decoding snapshot manifest: %w", err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("service: snapshot manifest version %d not supported (want %d)", m.Version, ManifestVersion)
+	}
+	seen := make(map[string]bool, len(m.Entries))
+	for _, e := range m.Entries {
+		if e.Key == "" {
+			return nil, fmt.Errorf("service: snapshot manifest has an entry with an empty key")
+		}
+		if seen[e.Key] {
+			return nil, fmt.Errorf("service: snapshot manifest lists key %q twice", e.Key)
+		}
+		seen[e.Key] = true
+		for _, f := range []string{e.ConfigFile, e.ArtifactFile} {
+			if f == "" || f != filepath.Base(f) {
+				return nil, fmt.Errorf("service: snapshot manifest entry %q names an invalid file %q (must be a bare file name)", e.Key, f)
+			}
+		}
+	}
+	return &m, nil
+}
+
+// Restore re-admits every configuration of the snapshot in dir into the
+// registry. Entries whose artifact digest matches the manifest's recorded
+// digest are loaded through the digest-trusted fast path
+// (election.LoadTrusted) regardless of the registry's
+// Options.TrustCompiledDigests — the manifest the operator points at is the
+// trust anchor; a mismatch (tampered or regenerated artifact under a stale
+// manifest) falls back to the full recompile-and-compare validation, which
+// still rejects artifacts that disagree with their own blueprint.
+//
+// Entries restore concurrently (one parser goroutine per core; shard
+// workers admit in parallel), so a cold boot uses the whole machine. On
+// failure Restore reports the failing entry of the lowest manifest index
+// and stops issuing new work; entries already admitted stay admitted.
+func (r *Registry) Restore(dir string) (*RestoreReport, error) {
+	if r.closed.Load() {
+		return nil, ErrClosed
+	}
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(m.Entries) {
+		workers = len(m.Entries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		mu      sync.Mutex
+		report  RestoreReport
+		errIdx  int
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(m.Entries) || failed.Load() {
+					return
+				}
+				trusted, err := r.restoreEntry(dir, m.Entries[i])
+				mu.Lock()
+				if err != nil {
+					if firstEr == nil || i < errIdx {
+						firstEr, errIdx = err, i
+					}
+					failed.Store(true)
+				} else {
+					report.Entries++
+					if trusted {
+						report.Trusted++
+					} else {
+						report.Revalidated++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return &report, firstEr
+	}
+	return &report, nil
+}
+
+// restoreEntry parses and re-admits one manifest entry, reporting whether
+// it went through the digest-trusted fast path.
+func (r *Registry) restoreEntry(dir string, me ManifestEntry) (trusted bool, err error) {
+	cfgData, err := os.ReadFile(filepath.Join(dir, me.ConfigFile))
+	if err != nil {
+		return false, fmt.Errorf("service: restoring %q: %w", me.Key, err)
+	}
+	cfg, err := config.Unmarshal(string(cfgData))
+	if err != nil {
+		return false, fmt.Errorf("service: restoring %q: %w", me.Key, err)
+	}
+	artData, err := os.ReadFile(filepath.Join(dir, me.ArtifactFile))
+	if err != nil {
+		return false, fmt.Errorf("service: restoring %q: %w", me.Key, err)
+	}
+	artifact, err := election.UnmarshalCompiled(artData)
+	if err != nil {
+		return false, fmt.Errorf("service: restoring %q: %w", me.Key, err)
+	}
+	trust := trustFull
+	if me.ArtifactDigest != "" && artifact.ArtifactDigest == me.ArtifactDigest {
+		trust = trustDigest
+	}
+	resp := r.do(r.shardFor(me.Key), request{op: opRegister, key: me.Key, cfg: cfg, compiled: artifact, trust: trust})
+	if resp.out.Err != nil {
+		return false, fmt.Errorf("service: restoring %q: %w", me.Key, resp.out.Err)
+	}
+	return trust == trustDigest, nil
+}
+
+// snapshot compiles every entry of the shard; it runs on the owning worker.
+func (sh *shard) snapshot() []SnapshotEntry {
+	entries := make([]SnapshotEntry, 0, len(sh.entries))
+	for key, e := range sh.entries {
+		entries = append(entries, SnapshotEntry{Key: key, Config: e.d.Config, Artifact: e.d.Compile()})
+	}
+	return entries
+}

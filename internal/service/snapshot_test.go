@@ -1,0 +1,356 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anonradio/internal/config"
+	"anonradio/internal/election"
+	"anonradio/internal/radio"
+)
+
+// TestSnapshotRestoreRoundTrip is the snapshot acceptance check: snapshot a
+// populated registry, restore into a fresh one, and assert the key set, the
+// artifact digests, and the election outcomes survive bit-identically — the
+// latter checked against direct Dedicated elections on all four engines.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := newTestRegistry(t, 3)
+	manifest, err := src.Snapshot(dir)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if len(manifest.Entries) != len(testConfigs()) {
+		t.Fatalf("manifest has %d entries, want %d", len(manifest.Entries), len(testConfigs()))
+	}
+	// The manifest is the trust anchor: every recorded digest must match the
+	// digest inside its artifact file, and keys must cover the registry.
+	keys := map[string]bool{}
+	for _, e := range manifest.Entries {
+		keys[e.Key] = true
+		data, err := os.ReadFile(filepath.Join(dir, e.ArtifactFile))
+		if err != nil {
+			t.Fatalf("reading artifact %s: %v", e.ArtifactFile, err)
+		}
+		artifact, err := election.UnmarshalCompiled(data)
+		if err != nil {
+			t.Fatalf("decoding artifact %s: %v", e.ArtifactFile, err)
+		}
+		if artifact.ArtifactDigest == "" || artifact.ArtifactDigest != e.ArtifactDigest {
+			t.Fatalf("digest mismatch for %q: manifest %q, artifact %q", e.Key, e.ArtifactDigest, artifact.ArtifactDigest)
+		}
+	}
+	for key := range testConfigs() {
+		if !keys[key] {
+			t.Fatalf("manifest is missing key %q", key)
+		}
+	}
+
+	// Restore into a fresh registry of a different shard count: the whole
+	// set must come back through the digest-trusted fast path.
+	dst := New(Options{Shards: 2})
+	t.Cleanup(dst.Close)
+	report, err := dst.Restore(dir)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if report.Entries != len(manifest.Entries) || report.Trusted != report.Entries || report.Revalidated != 0 {
+		t.Fatalf("restore report %+v, want all %d entries digest-trusted", report, len(manifest.Entries))
+	}
+	if dst.Len() != len(testConfigs()) {
+		t.Fatalf("restored registry has %d configs, want %d", dst.Len(), len(testConfigs()))
+	}
+
+	// Served outcomes from the restored registry must match direct
+	// elections on every engine (engines are bit-identical; rounds and
+	// leader pin the whole execution).
+	engines := []radio.Engine{radio.Sequential{}, radio.Parallel{}, radio.Concurrent{}, radio.GoroutinePerNode{}}
+	for key, cfg := range testConfigs() {
+		restored, err := dst.Elect(key)
+		if err != nil {
+			t.Fatalf("restored elect %s: %v", key, err)
+		}
+		orig, err := src.Elect(key)
+		if err != nil {
+			t.Fatalf("source elect %s: %v", key, err)
+		}
+		if restored.Leader != orig.Leader || restored.Rounds != orig.Rounds {
+			t.Fatalf("%s: restored outcome %+v, source %+v", key, restored, orig)
+		}
+		d, err := election.BuildDedicated(cfg)
+		if err != nil {
+			t.Fatalf("build %s: %v", key, err)
+		}
+		for _, eng := range engines {
+			out, err := d.Elect(eng, radio.Options{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", key, eng.Name(), err)
+			}
+			if out.Leader() != restored.Leader || out.Rounds != restored.Rounds {
+				t.Fatalf("%s: engine %s leader=%d rounds=%d, restored leader=%d rounds=%d",
+					key, eng.Name(), out.Leader(), out.Rounds, restored.Leader, restored.Rounds)
+			}
+		}
+	}
+}
+
+// TestResnapshotSameDirectory re-snapshots a changed registry into the same
+// directory and checks the new manifest supersedes the old content — the
+// entry numbering reshuffles when keys change, so this pins the staged
+// commit (a manifest must never name another snapshot's files).
+func TestResnapshotSameDirectory(t *testing.T) {
+	dir := t.TempDir()
+	src := newTestRegistry(t, 2)
+	if _, err := src.Snapshot(dir); err != nil {
+		t.Fatalf("first snapshot: %v", err)
+	}
+	// Change the key set so the sorted numbering shifts: drop the
+	// lexicographically-first key and add a new one.
+	first, err := src.SnapshotEntries()
+	if err != nil {
+		t.Fatalf("entries: %v", err)
+	}
+	if !src.Evict(first[0].Key) {
+		t.Fatalf("evict %q failed", first[0].Key)
+	}
+	if err := src.Register("zz-new", config.StaggeredClique(9)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	m, err := src.Snapshot(dir)
+	if err != nil {
+		t.Fatalf("second snapshot: %v", err)
+	}
+	if len(m.Entries) != len(testConfigs()) {
+		t.Fatalf("second manifest has %d entries, want %d", len(m.Entries), len(testConfigs()))
+	}
+	// No staging leftovers, and the directory restores to exactly the
+	// second registry content.
+	leftovers, err := filepath.Glob(filepath.Join(dir, "*.staged"))
+	if err != nil || len(leftovers) != 0 {
+		t.Fatalf("staged leftovers after commit: %v %v", leftovers, err)
+	}
+	dst := New(Options{Shards: 1})
+	t.Cleanup(dst.Close)
+	report, err := dst.Restore(dir)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if report.Entries != len(m.Entries) || report.Trusted != report.Entries {
+		t.Fatalf("restore report %+v, want all %d trusted", report, len(m.Entries))
+	}
+	if out, err := dst.Elect("zz-new"); err != nil || !out.Elected() {
+		t.Fatalf("new key after re-snapshot: %v %+v", err, out)
+	}
+	if out, _ := dst.Elect(first[0].Key); out.Err == nil {
+		t.Fatalf("evicted key %q still restorable after re-snapshot", first[0].Key)
+	}
+}
+
+// TestRestoreDigestMismatchFallsBack corrupts the manifest's recorded digest
+// for one entry: the restore must still succeed — through the full
+// recompile-and-compare validation — and serve identical outcomes.
+func TestRestoreDigestMismatchFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	src := newTestRegistry(t, 2)
+	manifest, err := src.Snapshot(dir)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	manifest.Entries[0].ArtifactDigest = "deadbeefdeadbeef"
+	data, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		t.Fatalf("re-encoding manifest: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), data, 0o644); err != nil {
+		t.Fatalf("rewriting manifest: %v", err)
+	}
+
+	dst := New(Options{Shards: 2})
+	t.Cleanup(dst.Close)
+	report, err := dst.Restore(dir)
+	if err != nil {
+		t.Fatalf("restore with corrupted digest: %v", err)
+	}
+	if report.Revalidated != 1 || report.Trusted != report.Entries-1 {
+		t.Fatalf("restore report %+v, want exactly 1 revalidated entry", report)
+	}
+	key := manifest.Entries[0].Key
+	restored, err := dst.Elect(key)
+	if err != nil {
+		t.Fatalf("elect %s: %v", key, err)
+	}
+	orig, err := src.Elect(key)
+	if err != nil {
+		t.Fatalf("source elect %s: %v", key, err)
+	}
+	if restored.Leader != orig.Leader || restored.Rounds != orig.Rounds {
+		t.Fatalf("revalidated entry diverged: %+v vs %+v", restored, orig)
+	}
+}
+
+// TestRestoreRejectsTamperedArtifact rewrites an artifact's leader history
+// (recomputing nothing): the digest mismatch deselects the fast path and
+// the full validation layer must reject the inconsistent artifact.
+func TestRestoreRejectsTamperedArtifact(t *testing.T) {
+	dir := t.TempDir()
+	src := newTestRegistry(t, 1)
+	manifest, err := src.Snapshot(dir)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	// Find an entry with more than one node (its leader history is
+	// non-trivial) and truncate the history in the artifact file.
+	var target ManifestEntry
+	for _, e := range manifest.Entries {
+		if e.Nodes > 1 {
+			target = e
+			break
+		}
+	}
+	if target.Key == "" {
+		t.Fatal("no multi-node entry in the test fleet")
+	}
+	path := filepath.Join(dir, target.ArtifactFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading artifact: %v", err)
+	}
+	artifact, err := election.UnmarshalCompiled(data)
+	if err != nil {
+		t.Fatalf("decoding artifact: %v", err)
+	}
+	artifact.LeaderHistory = nil // tampered: decision data gone
+	tampered, err := json.Marshal(artifact)
+	if err != nil {
+		t.Fatalf("re-encoding artifact: %v", err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatalf("rewriting artifact: %v", err)
+	}
+
+	dst := New(Options{Shards: 1})
+	t.Cleanup(dst.Close)
+	if _, err := dst.Restore(dir); err == nil {
+		t.Fatal("restore accepted a tampered artifact")
+	} else if !strings.Contains(err.Error(), target.Key) {
+		t.Fatalf("restore error does not name the failing key: %v", err)
+	}
+}
+
+// TestRestoreErrors pins the failure modes of the manifest reader.
+func TestRestoreErrors(t *testing.T) {
+	dst := New(Options{Shards: 1})
+	t.Cleanup(dst.Close)
+
+	if _, err := dst.Restore(t.TempDir()); err == nil {
+		t.Fatal("restore of an empty directory succeeded")
+	}
+
+	dir := t.TempDir()
+	write := func(body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte(body), 0o644); err != nil {
+			t.Fatalf("writing manifest: %v", err)
+		}
+	}
+	write("{nope")
+	if _, err := dst.Restore(dir); err == nil {
+		t.Fatal("restore of a malformed manifest succeeded")
+	}
+	write(`{"version": 99, "entries": []}`)
+	if _, err := dst.Restore(dir); err == nil {
+		t.Fatal("restore of an unsupported manifest version succeeded")
+	}
+	write(`{"version": 1, "entries": [{"key": "a", "config_file": "../evil", "artifact_file": "x.json"}]}`)
+	if _, err := dst.Restore(dir); err == nil {
+		t.Fatal("restore accepted a path-escaping manifest entry")
+	}
+	write(`{"version": 1, "entries": [{"key": "a", "config_file": "c.txt", "artifact_file": "a.json"}, {"key": "a", "config_file": "c.txt", "artifact_file": "a.json"}]}`)
+	if _, err := dst.Restore(dir); err == nil {
+		t.Fatal("restore accepted a duplicate key")
+	}
+}
+
+// TestSnapshotClosedRegistry pins the closed-registry behavior of the
+// snapshot entry points.
+func TestSnapshotClosedRegistry(t *testing.T) {
+	r := New(Options{Shards: 1})
+	r.Close()
+	if _, err := r.Snapshot(t.TempDir()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("snapshot on closed registry: %v, want ErrClosed", err)
+	}
+	if _, err := r.Restore(t.TempDir()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("restore on closed registry: %v, want ErrClosed", err)
+	}
+}
+
+func benchKey(i int) string { return "cfg-" + string(rune('a'+i)) }
+
+// The restore/rebuild benchmark fleet: line-family and staggered-path
+// configurations whose classification-and-build work (what a restore
+// skips) dominates the JSON parsing a restore pays for. The tradeoff tips
+// the other way on configurations that classify in a few cheap iterations
+// (a staggered clique builds faster than its artifact parses);
+// docs/PERFORMANCE.md publishes both sides.
+const snapBenchCfgs = 4
+
+func snapBenchConfig(i int) *config.Config {
+	if i%2 == 0 {
+		return config.LineFamilyG(8 + i)
+	}
+	return config.StaggeredPath(48+8*i, 1)
+}
+
+// BenchmarkSnapshotRestore measures a full cold restore (manifest + files +
+// digest-trusted loads, parsed concurrently) of the benchmark fleet.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	dir := b.TempDir()
+	src := New(Options{Shards: 2})
+	for i := 0; i < snapBenchCfgs; i++ {
+		if err := src.Register(benchKey(i), snapBenchConfig(i)); err != nil {
+			b.Fatalf("register: %v", err)
+		}
+	}
+	if _, err := src.Snapshot(dir); err != nil {
+		b.Fatalf("snapshot: %v", err)
+	}
+	src.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := New(Options{Shards: 2})
+		report, err := dst.Restore(dir)
+		if err != nil {
+			b.Fatalf("restore: %v", err)
+		}
+		if report.Trusted != snapBenchCfgs {
+			b.Fatalf("report %+v, want %d trusted", report, snapBenchCfgs)
+		}
+		dst.Close()
+	}
+}
+
+// BenchmarkSnapshotColdRebuild is the baseline Restore beats: re-admitting
+// the same registry content by re-classifying and re-building every
+// configuration from scratch.
+func BenchmarkSnapshotColdRebuild(b *testing.B) {
+	cfgs := make([]*config.Config, snapBenchCfgs)
+	for i := range cfgs {
+		cfgs[i] = snapBenchConfig(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := New(Options{Shards: 2})
+		for j, cfg := range cfgs {
+			if err := dst.Register(benchKey(j), cfg); err != nil {
+				b.Fatalf("register: %v", err)
+			}
+		}
+		dst.Close()
+	}
+}
