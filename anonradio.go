@@ -350,14 +350,17 @@ func ElectCompiled(c *CompiledElection, cfg *Config, kind EngineKind) (*Election
 
 // Service is the sharded election service: a long-lived registry of
 // dedicated algorithms served from worker-owned shards. Keys hash onto
-// shards; each shard's worker owns its configurations, build arena,
-// simulators and outcome buffers, so concurrent Register/Elect/Evict calls
-// are safe and the steady-state Elect path performs zero heap allocations.
-// See internal/service for the ownership model. Release a Service with
-// Close.
+// shards; each shard's worker owns its configurations, simulators and
+// outcome buffers, so concurrent Register/Elect/Evict calls are safe and
+// the steady-state Elect path performs zero heap allocations. Admissions
+// (Register, RegisterCompiled, and their Async variants) build on a
+// bounded builder pool off the serve path, so elections never wait behind
+// a build; a full admission queue returns ErrServiceAdmissionBusy. See
+// internal/service for the ownership model. Release a Service with Close.
 type Service = service.Registry
 
-// ServiceOptions configure a Service (shard count, per-shard queue depth).
+// ServiceOptions configure a Service (shard count, per-shard queue depth,
+// builder pool size, admission queue bound).
 type ServiceOptions = service.Options
 
 // ServiceOutcome is the value-typed result of one served election: key,
@@ -373,6 +376,36 @@ var ErrServiceClosed = service.ErrClosed
 // ErrServiceUnknownKey is returned (wrapped) by served elections on a key
 // with no registered configuration.
 var ErrServiceUnknownKey = service.ErrUnknownKey
+
+// ErrServiceAdmissionBusy is returned (wrapped) by Service registrations
+// when the bounded admission queue is full — the backpressure signal; retry
+// after a short delay. The HTTP server maps it to 429 with a Retry-After
+// header.
+var ErrServiceAdmissionBusy = service.ErrAdmissionBusy
+
+// ServiceAdmissionState is the lifecycle of one Service admission: unknown,
+// queued, building, done or failed.
+type ServiceAdmissionState = service.AdmissionState
+
+// The admission lifecycle states, as reported by
+// (*Service).AdmissionStatus.
+const (
+	ServiceAdmissionUnknown  = service.AdmissionUnknown
+	ServiceAdmissionQueued   = service.AdmissionQueued
+	ServiceAdmissionBuilding = service.AdmissionBuilding
+	ServiceAdmissionDone     = service.AdmissionDone
+	ServiceAdmissionFailed   = service.AdmissionFailed
+)
+
+// ServiceAdmissionStatus is the pollable progress of the most recent
+// admission submitted for a key (see (*Service).RegisterAsync and
+// (*Service).AdmissionStatus).
+type ServiceAdmissionStatus = service.AdmissionStatus
+
+// ServiceAdmissionStats is a snapshot of the Service admission pipeline's
+// counters (builders, queue bound, pending/submitted/completed/failed/
+// rejected admissions).
+type ServiceAdmissionStats = service.AdmissionStats
 
 // NewService starts a sharded election service. Admit configurations with
 // Register (build on the shard) or RegisterCompiled (load an artifact, with
@@ -525,7 +558,7 @@ func NewParallelSimulator(cfg *Config, workers int) (*Simulator, error) {
 	return radio.NewParallelSimulator(cfg, workers)
 }
 
-// RunExperiments regenerates every experiment table (E1-E13, A1) and writes
+// RunExperiments regenerates every experiment table (E1-E14, A1) and writes
 // them to w. With quick=true a reduced parameter sweep is used. The election
 // experiments run on the sequential engine; use RunExperimentsOn to choose.
 func RunExperiments(w io.Writer, quick bool, seed int64) error {
@@ -543,7 +576,7 @@ func RunExperimentsOn(w io.Writer, quick bool, seed int64, kind EngineKind) erro
 	return harness.RunAll(harness.Options{Quick: quick, Seed: seed, Engine: eng}, w)
 }
 
-// RunExperiment runs a single experiment by ID ("E1".."E13", "A1") and returns its
+// RunExperiment runs a single experiment by ID ("E1".."E14", "A1") and returns its
 // table.
 func RunExperiment(id string, quick bool, seed int64) (*ExperimentTable, error) {
 	return RunExperimentOn(id, quick, seed, SequentialEngine)

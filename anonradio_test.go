@@ -161,7 +161,7 @@ func TestRunExperimentSingle(t *testing.T) {
 
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 14 || ids[0] != "E1" || ids[12] != "E13" || ids[13] != "A1" {
+	if len(ids) != 15 || ids[0] != "E1" || ids[13] != "E14" || ids[14] != "A1" {
 		t.Fatalf("experiment ids wrong: %v", ids)
 	}
 }

@@ -13,8 +13,9 @@
 //
 // Usage:
 //
-//	anonradiod [-listen :8080] [-shards N] [-queue-depth N] [-trust-artifacts]
-//	           [-snapshot-dir DIR] [-restore-on-boot] [-snapshot-on-shutdown]
+//	anonradiod [-listen :8080] [-shards N] [-queue-depth N] [-builders N]
+//	           [-admission-queue N] [-trust-artifacts] [-snapshot-dir DIR]
+//	           [-restore-on-boot] [-snapshot-on-shutdown]
 //	           [-shutdown-timeout 10s]
 //
 // A minimal session against a running daemon:
@@ -48,6 +49,8 @@ func main() {
 		listen          = flag.String("listen", ":8080", "listen address")
 		shards          = flag.Int("shards", 0, "worker-owned shards (0 = GOMAXPROCS)")
 		queueDepth      = flag.Int("queue-depth", 0, "per-shard request queue depth (0 = default)")
+		buildersN       = flag.Int("builders", 0, "admission builder goroutines; builds run here, off the serve path (0 = GOMAXPROCS)")
+		admissionQueue  = flag.Int("admission-queue", 0, "bounded admission queue ahead of the builders; a full queue answers 429 (0 = default 256)")
 		trust           = flag.Bool("trust-artifacts", false, "trust compiled artifacts registered over HTTP: a verifying phase-table digest skips the recompile validation (enable only when every client is your own pipeline)")
 		snapshotDir     = flag.String("snapshot-dir", "", "snapshot directory for -restore-on-boot / -snapshot-on-shutdown")
 		restoreOnBoot   = flag.Bool("restore-on-boot", false, "restore -snapshot-dir before the listener opens (missing manifest is not an error; the daemon starts empty)")
@@ -66,6 +69,8 @@ func main() {
 	reg := service.New(service.Options{
 		Shards:               *shards,
 		QueueDepth:           *queueDepth,
+		Builders:             *buildersN,
+		AdmissionQueue:       *admissionQueue,
 		TrustCompiledDigests: *trust,
 	})
 	defer reg.Close()
@@ -87,7 +92,9 @@ func main() {
 	srv := server.New(reg, server.Options{MaxBatchKeys: *maxBatch})
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*listen) }()
-	log.Printf("serving on %s (%d shards)", *listen, reg.Shards())
+	ast := reg.AdmissionStats()
+	log.Printf("serving on %s (%d shards, %d builders, admission queue %d)",
+		*listen, reg.Shards(), ast.Builders, ast.QueueCapacity)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -117,6 +124,11 @@ func main() {
 		log.Printf("snapshotted %d configurations to %s in %s",
 			len(manifest.Entries), *snapshotDir, time.Since(start).Round(time.Millisecond))
 	}
-	total := service.Totals(reg.Stats())
+	stats, err := reg.Stats()
+	if err != nil {
+		log.Printf("final stats unavailable: %v; bye", err)
+		return
+	}
+	total := service.Totals(stats)
 	log.Printf("served %d elections (%d failures); bye", total.Elections, total.Failures)
 }

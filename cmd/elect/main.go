@@ -160,7 +160,11 @@ func runServe(cfg *anonradio.Config, compiledPath string, count, shards, batchSi
 	fmt.Printf("global rounds:   %d per election\n", rounds)
 	fmt.Printf("elections:       %d in %s (%.0f elections/sec, batch %d)\n",
 		count, elapsed.Round(time.Millisecond), float64(count)/elapsed.Seconds(), batchSize)
-	for _, s := range svc.Stats() {
+	stats, err := svc.Stats()
+	if err != nil {
+		return err
+	}
+	for _, s := range stats {
 		fmt.Printf("shard %d:         %d configs, %d elections, %d failures\n",
 			s.Shard, s.Configs, s.Elections, s.Failures)
 	}

@@ -3,9 +3,11 @@
 //
 // The service is the deployment story of the reproduction scaled up: instead
 // of building one dedicated algorithm and electing once, a registry admits a
-// whole fleet of configurations (building on the shard's reusable arena, or
-// loading compiled artifacts with the digest fast path) and serves elections
-// with zero allocations per call and no cross-shard contention.
+// whole fleet of configurations (classified and compiled by a builder pool
+// off the serve path — synchronously, or in the background with
+// RegisterAsync — or loaded from compiled artifacts with the digest fast
+// path) and serves elections with zero allocations per call and no
+// cross-shard contention.
 //
 // Run with:
 //
@@ -15,6 +17,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"anonradio"
 )
@@ -26,8 +29,9 @@ func main() {
 	defer svc.Close()
 
 	// Admit a mixed fleet: paper families of several sizes. Register
-	// classifies and builds on the owning shard; infeasible configurations
-	// are rejected at admission time.
+	// classifies and builds on the builder pool, then installs onto the
+	// owning shard; infeasible configurations are rejected at admission
+	// time.
 	keys := []string{}
 	for n := 4; n <= 16; n += 4 {
 		key := fmt.Sprintf("clique-%d", n)
@@ -48,6 +52,21 @@ func main() {
 	if err := svc.Register("bad", anonradio.SymmetricPair()); err != nil {
 		fmt.Printf("admission of the symmetric pair rejected as expected:\n  %v\n\n", err)
 	}
+
+	// Admissions run on the builder pool, off the serve path — elections
+	// never wait behind a build. RegisterAsync returns as soon as the build
+	// is queued; poll AdmissionStatus for the outcome.
+	if err := svc.RegisterAsync("async-clique", anonradio.StaggeredClique(20)); err != nil {
+		log.Fatal(err)
+	}
+	for !svc.AdmissionStatus("async-clique").State.Terminal() {
+		time.Sleep(time.Millisecond)
+	}
+	if st := svc.AdmissionStatus("async-clique"); st.State != anonradio.ServiceAdmissionDone {
+		log.Fatalf("async admission ended %s: %v", st.State, st.Err)
+	}
+	fmt.Println("async admission of clique-20 landed in the background")
+	keys = append(keys, "async-clique")
 
 	// Compiled artifacts are admitted without rebuilding: compile once
 	// (centrally, in the paper's story), then load — the embedded phase
@@ -82,7 +101,10 @@ func main() {
 	}
 
 	fmt.Println("\nper-shard statistics:")
-	stats := svc.Stats()
+	stats, err := svc.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, s := range stats {
 		fmt.Printf("  shard %d: %2d configs, %6d elections, %d failures\n",
 			s.Shard, s.Configs, s.Elections, s.Failures)

@@ -3,10 +3,11 @@
 // This example is the deployment story of the reproduction on the wire: it
 // boots the HTTP election server in-process on a loopback listener (exactly
 // what cmd/anonradiod serves), then talks to it purely over HTTP — register
-// a configuration from its text encoding, serve single and batched
-// elections, read the stats counters, evict — and finally snapshots the
-// registry to disk and restores it into a second server, showing that the
-// restored server answers bit-identically without recompiling anything.
+// a configuration from its text encoding (synchronously and asynchronously
+// with a polled admission status), serve single and batched elections, read
+// the stats counters, evict — and finally snapshots the registry to disk
+// and restores it into a second server, showing that the restored server
+// answers bit-identically without recompiling anything.
 //
 // Run with:
 //
@@ -22,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"anonradio"
 )
@@ -129,6 +131,37 @@ func main() {
 	for _, o := range batch.Outcomes {
 		fmt.Printf("  %-10s leader=%d rounds=%d\n", o.Key, o.Leader, o.Rounds)
 	}
+
+	// Async admission over the wire: "async": true answers 202 as soon as
+	// the build is queued on the server's builder pool (a full queue would
+	// be 429 — backpressure), and the admission is polled at
+	// /v1/register/status/{key} until it lands.
+	asyncBody, err := json.Marshal(map[string]any{
+		"key": "clique-20", "config": anonradio.StaggeredClique(20).Marshal(), "async": true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/register", "application/json", bytes.NewReader(asyncBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("async register: %s, want 202", resp.Status)
+	}
+	var st struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	for st.State != "done" && st.State != "failed" {
+		if err := call("GET", base+"/v1/register/status/clique-20", nil, &st); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("async admission of clique-20: %s\n", st.State)
+	keys = append(keys, "clique-20")
 
 	// The stats endpoint exposes registry counters and per-endpoint
 	// request/latency counters.

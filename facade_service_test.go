@@ -3,6 +3,7 @@ package anonradio
 import (
 	"fmt"
 	"testing"
+	"time"
 )
 
 // TestFacadeService exercises the sharded election service through the
@@ -70,12 +71,43 @@ func TestFacadeService(t *testing.T) {
 		}
 	}
 
-	total := ServiceTotals(svc.Stats())
+	stats, err := svc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := ServiceTotals(stats)
 	wantElections := int64(len(keys)) * 2 // one warm-up each + one batch each
 	if total.Elections != wantElections || total.Configs != len(keys) {
 		t.Fatalf("totals %+v, want %d elections over %d configs", total, wantElections, len(keys))
 	}
 	if svc.Shards() != 3 {
 		t.Fatalf("Shards() = %d, want 3", svc.Shards())
+	}
+}
+
+// TestFacadeServiceAsyncAdmission exercises the async admission flow —
+// submit, poll to a terminal state, serve — through the public API.
+func TestFacadeServiceAsyncAdmission(t *testing.T) {
+	svc := NewService(ServiceOptions{Shards: 2, Builders: 1})
+	defer svc.Close()
+	if err := svc.RegisterAsync("clique", StaggeredClique(9)); err != nil {
+		t.Fatal(err)
+	}
+	for !svc.AdmissionStatus("clique").State.Terminal() {
+		time.Sleep(time.Millisecond)
+	}
+	if st := svc.AdmissionStatus("clique"); st.State != ServiceAdmissionDone {
+		t.Fatalf("async admission ended %s: %v", st.State, st.Err)
+	}
+	out, err := svc.Elect("clique")
+	if err != nil || !out.Elected() {
+		t.Fatalf("elect after async admission: %+v %v", out, err)
+	}
+	if st := svc.AdmissionStatus("never"); st.State != ServiceAdmissionUnknown {
+		t.Fatalf("unsubmitted key reported %s", st.State)
+	}
+	ast := svc.AdmissionStats()
+	if ast.Submitted != 1 || ast.Completed != 1 || ast.Builders != 1 {
+		t.Fatalf("admission stats %+v", ast)
 	}
 }

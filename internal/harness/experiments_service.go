@@ -115,7 +115,12 @@ func E12ServiceThroughput(opts Options) (*Table, error) {
 		served := (elections + nCfgs - 1) / nCfgs * nCfgs
 		elapsed := time.Since(start)
 		per := elapsed / time.Duration(served)
-		total := service.Totals(reg.Stats())
+		stats, err := reg.Stats()
+		if err != nil {
+			reg.Close()
+			return nil, fmt.Errorf("E12 stats (shards=%d): %w", shards, err)
+		}
+		total := service.Totals(stats)
 		reg.Close()
 		if total.Failures != 0 {
 			return nil, fmt.Errorf("E12: %d failures at shards=%d", total.Failures, shards)
@@ -125,7 +130,7 @@ func E12ServiceThroughput(opts Options) (*Table, error) {
 			fmt.Sprintf("%d", nCfgs),
 			fmt.Sprintf("%d", served),
 			elapsed.Round(time.Millisecond).String(),
-			per.Round(100 * time.Nanosecond).String(),
+			per.Round(100*time.Nanosecond).String(),
 			fmt.Sprintf("%.2fx", float64(directPer)/float64(per)),
 			fmt.Sprintf("%v", agree),
 		)

@@ -30,8 +30,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(all))
+	if len(all) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -234,7 +234,7 @@ func TestRunAllQuick(t *testing.T) {
 		t.Fatalf("%v", err)
 	}
 	out := sb.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "A1"} {
 		if !strings.Contains(out, "## "+id) {
 			t.Fatalf("RunAll output missing %s", id)
 		}
@@ -252,6 +252,27 @@ func TestE13ServedThroughput(t *testing.T) {
 	for _, row := range table.Rows {
 		if row[len(row)-1] != "true" {
 			t.Fatalf("served outcomes disagreed with in-process: %v", row)
+		}
+	}
+}
+
+func TestE14AdmissionIsolation(t *testing.T) {
+	table, err := E14AdmissionIsolation(quickOpts())
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("expected 3 rows (idle, build-on-shard, pipeline), got %d", len(table.Rows))
+	}
+	// Timing distributions are noisy on shared runners, so the only hard
+	// expectation is that every mode actually served elections (and the
+	// admitting modes actually admitted).
+	for i, row := range table.Rows {
+		if row[1] == "0" {
+			t.Fatalf("row %d served no elections: %v", i, row)
+		}
+		if i > 0 && row[2] == "0" {
+			t.Fatalf("row %d performed no admissions: %v", i, row)
 		}
 	}
 }

@@ -10,6 +10,7 @@ type endpoint int
 
 const (
 	epRegister endpoint = iota
+	epRegisterStatus
 	epElect
 	epElectBatch
 	epEvict
@@ -21,12 +22,13 @@ const (
 // endpointNames are the stable names the stats endpoint reports; they match
 // the route patterns so operators can correlate counters with requests.
 var endpointNames = [epCount]string{
-	epRegister:   "POST /v1/register",
-	epElect:      "POST /v1/elect",
-	epElectBatch: "POST /v1/elect/batch",
-	epEvict:      "DELETE /v1/configs/{key}",
-	epStats:      "GET /v1/stats",
-	epHealth:     "GET /healthz",
+	epRegister:       "POST /v1/register",
+	epRegisterStatus: "GET /v1/register/status/{key}",
+	epElect:          "POST /v1/elect",
+	epElectBatch:     "POST /v1/elect/batch",
+	epEvict:          "DELETE /v1/configs/{key}",
+	epStats:          "GET /v1/stats",
+	epHealth:         "GET /healthz",
 }
 
 // endpointMetrics are one endpoint's counters. All fields are atomics: the

@@ -4,21 +4,30 @@
 //
 // The surface is deliberately small and maps one-to-one onto the registry:
 //
-//	POST   /v1/register       admit a configuration (text format) or a
-//	                          compiled artifact under a key
-//	POST   /v1/elect          serve one election for a key
-//	POST   /v1/elect/batch    serve one election per key, batched onto
-//	                          Registry.ElectBatch (fans out across shards)
-//	DELETE /v1/configs/{key}  evict a key
-//	GET    /v1/stats          per-shard registry counters plus per-endpoint
-//	                          request/latency/outcome counters
-//	GET    /healthz           liveness (also reports configs and shards)
+//	POST   /v1/register              admit a configuration (text format) or
+//	                                 a compiled artifact under a key —
+//	                                 synchronously, or with "async": true
+//	                                 as a 202 + pollable admission
+//	GET    /v1/register/status/{key} poll an admission's progress
+//	POST   /v1/elect                 serve one election for a key
+//	POST   /v1/elect/batch           serve one election per key, batched
+//	                                 onto Registry.ElectBatch
+//	DELETE /v1/configs/{key}         evict a key
+//	GET    /v1/stats                 per-shard registry counters, admission
+//	                                 pipeline counters and per-endpoint
+//	                                 request/latency/outcome counters
+//	GET    /healthz                  liveness from cached atomic counters —
+//	                                 never enters a shard queue
 //
-// Handlers do no election work themselves: they decode JSON, hand the
-// request to the registry (whose worker-owned shards serve the zero-alloc
-// election path), and encode the value-typed outcome. Served outcomes are
-// therefore bit-identical to in-process Registry.Elect — the HTTP layer
-// adds transport and accounting, never semantics.
+// Handlers do no election work themselves: they decode JSON (strictly:
+// unknown fields and trailing data are 400s, oversized bodies 413), hand
+// the request to the registry (whose worker-owned shards serve the
+// zero-alloc election path while the builder pool absorbs admissions), and
+// encode the value-typed outcome. Served outcomes are therefore
+// bit-identical to in-process Registry.Elect — the HTTP layer adds
+// transport and accounting, never semantics. When the registry's bounded
+// admission queue is full, registrations answer 429 with a Retry-After
+// header — the server's backpressure signal.
 //
 // The server also wires the snapshot layer to deployment: LoadSnapshot
 // re-admits a snapshot directory through the digest-trusted fast path
@@ -32,8 +41,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"time"
 
 	"anonradio/internal/config"
@@ -81,6 +92,7 @@ func New(reg *service.Registry, opts Options) *Server {
 	}
 	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(), opts: opts}
 	s.mux.HandleFunc("POST /v1/register", s.instrument(epRegister, s.handleRegister))
+	s.mux.HandleFunc("GET /v1/register/status/{key...}", s.instrument(epRegisterStatus, s.handleRegisterStatus))
 	s.mux.HandleFunc("POST /v1/elect", s.instrument(epElect, s.handleElect))
 	s.mux.HandleFunc("POST /v1/elect/batch", s.instrument(epElectBatch, s.handleElectBatch))
 	s.mux.HandleFunc("DELETE /v1/configs/{key...}", s.instrument(epEvict, s.handleEvict))
@@ -142,6 +154,10 @@ type RegisterRequest struct {
 	// of classifying and building; validation policy follows the registry's
 	// TrustCompiledDigests option.
 	Artifact *election.Compiled `json:"artifact,omitempty"`
+	// Async selects the asynchronous admission flow: the server answers 202
+	// as soon as the registration is queued on the builder pool, and the
+	// client polls GET /v1/register/status/{key} for the outcome.
+	Async bool `json:"async,omitempty"`
 }
 
 // RegisterResponse is the body of a successful POST /v1/register.
@@ -151,6 +167,22 @@ type RegisterResponse struct {
 	// Source is "built" (classified and compiled server-side) or "artifact"
 	// (loaded from the request's compiled artifact).
 	Source string `json:"source"`
+	// Status is "admitted" (synchronous admission completed, 200) or
+	// "pending" (async admission accepted, 202 — poll StatusURL).
+	Status string `json:"status"`
+	// StatusURL is the admission-status endpoint for the key (async only).
+	StatusURL string `json:"status_url,omitempty"`
+}
+
+// AdmissionStatusResponse is the body of GET /v1/register/status/{key}.
+type AdmissionStatusResponse struct {
+	// Key is the polled key.
+	Key string `json:"key"`
+	// State is "queued", "building", "done" or "failed" (an unknown key is
+	// a 404, not a state).
+	State string `json:"state"`
+	// Error carries the admission failure when State is "failed".
+	Error string `json:"error,omitempty"`
 }
 
 // ElectRequest is the body of POST /v1/elect.
@@ -214,6 +246,25 @@ type ShardStats struct {
 	Rounds int64 `json:"rounds"`
 }
 
+// AdmissionStats mirrors service.AdmissionStats with JSON tags: the
+// admission pipeline's counters as served by GET /v1/stats.
+type AdmissionStats struct {
+	// Builders is the size of the builder pool.
+	Builders int `json:"builders"`
+	// QueueCapacity is the bound of the admission queue.
+	QueueCapacity int `json:"queue_capacity"`
+	// Pending counts admissions submitted but not yet terminal.
+	Pending int64 `json:"pending"`
+	// Submitted counts admissions accepted into the queue.
+	Submitted int64 `json:"submitted"`
+	// Completed counts admissions that installed successfully.
+	Completed int64 `json:"completed"`
+	// Failed counts admissions that ended in failure.
+	Failed int64 `json:"failed"`
+	// Rejected counts registrations refused with 429 (queue full).
+	Rejected int64 `json:"rejected"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	// UptimeSeconds is the time since the server was created.
@@ -222,11 +273,15 @@ type StatsResponse struct {
 	Shards []ShardStats `json:"shards"`
 	// Totals folds the shard rows into one aggregate (Shard is -1).
 	Totals ShardStats `json:"totals"`
+	// Admission holds the admission pipeline counters.
+	Admission AdmissionStats `json:"admission"`
 	// Endpoints holds the per-endpoint request/latency/outcome counters.
 	Endpoints []EndpointStats `json:"endpoints"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz. Everything in it comes from
+// cached atomic counters, so a liveness probe answers even while every
+// shard is busy.
 type HealthResponse struct {
 	// Status is "ok" while the server answers at all.
 	Status string `json:"status"`
@@ -234,6 +289,8 @@ type HealthResponse struct {
 	Configs int `json:"configs"`
 	// Shards is the registry's shard count.
 	Shards int `json:"shards"`
+	// PendingAdmissions counts admissions queued or building.
+	PendingAdmissions int64 `json:"pending_admissions"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -278,19 +335,27 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status is already on the wire; nothing to do on error
 }
 
-// writeError encodes err with the status its kind maps to.
+// writeError encodes err with the status its kind maps to. A 429 carries a
+// Retry-After header: the admission queue drains at build speed, so a
+// short client-side backoff is the intended reaction.
 func writeError(w http.ResponseWriter, err error) {
-	writeJSON(w, statusFor(err), ErrorResponse{Error: err.Error()})
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 
 // statusFor maps service/election errors onto HTTP statuses: unknown keys
-// are 404, a closed registry is 503 (the daemon is shutting down),
-// infeasible configurations are 422 (well-formed but inadmissible), and
-// anything else is 500.
+// are 404, a full admission queue is 429 (backpressure; retry), a closed
+// registry is 503 (the daemon is shutting down), infeasible configurations
+// are 422 (well-formed but inadmissible), and anything else is 500.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, service.ErrUnknownKey):
 		return http.StatusNotFound
+	case errors.Is(err, service.ErrAdmissionBusy):
+		return http.StatusTooManyRequests
 	case errors.Is(err, service.ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, election.ErrInfeasible):
@@ -300,13 +365,39 @@ func statusFor(err error) int {
 	}
 }
 
-// decode parses the request body into v, answering 400 itself on failure.
+// decode parses the request body into v strictly — unknown fields (a
+// typo'd "artifcat" would otherwise silently trigger a server-side build)
+// and trailing data are rejected — answering 400 itself on failure, or 413
+// when the body blew the MaxBodyBytes cap.
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("decoding request body: %v", err)})
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeDecodeError(w, err)
 		return false
 	}
-	return true
+	var trailing json.RawMessage
+	switch err := dec.Decode(&trailing); err {
+	case io.EOF:
+		return true
+	case nil:
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "request body carries trailing data after the JSON object"})
+	default:
+		writeDecodeError(w, err)
+	}
+	return false
+}
+
+// writeDecodeError distinguishes an oversized body (413, the cap is a
+// server policy the client can react to) from malformed JSON (400).
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			ErrorResponse{Error: fmt.Sprintf("request body exceeds the %d-byte limit", maxErr.Limit)})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("decoding request body: %v", err)})
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -330,6 +421,26 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	source := "built"
 	if req.Artifact != nil {
 		source = "artifact"
+	}
+	if req.Async {
+		if req.Artifact != nil {
+			err = s.reg.RegisterCompiledAsync(req.Key, req.Artifact, cfg)
+		} else {
+			err = s.reg.RegisterAsync(req.Key, cfg)
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, RegisterResponse{
+			Key: req.Key, Source: source, Status: "pending",
+			// PathEscape keeps keys with reserved characters ('?', '#', '%',
+			// spaces) pollable; the mux unescapes the wildcard back to the key.
+			StatusURL: "/v1/register/status/" + url.PathEscape(req.Key),
+		})
+		return
+	}
+	if req.Artifact != nil {
 		err = s.reg.RegisterCompiled(req.Key, req.Artifact, cfg)
 	} else {
 		err = s.reg.Register(req.Key, cfg)
@@ -338,7 +449,25 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RegisterResponse{Key: req.Key, Source: source})
+	writeJSON(w, http.StatusOK, RegisterResponse{Key: req.Key, Source: source, Status: "admitted"})
+}
+
+func (s *Server) handleRegisterStatus(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if key == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing key"})
+		return
+	}
+	st := s.reg.AdmissionStatus(key)
+	if st.State == service.AdmissionUnknown {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("no admission recorded for %q", key)})
+		return
+	}
+	resp := AdmissionStatusResponse{Key: key, State: st.State.String()}
+	if st.Err != nil {
+		resp.Error = st.Err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // outcomeJSON converts a served outcome to its wire form.
@@ -411,11 +540,25 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	stats := s.reg.Stats()
+	stats, err := s.reg.Stats()
+	if err != nil {
+		writeError(w, err) // 503 on a closed registry, not a healthy-looking all-zero table
+		return
+	}
+	ast := s.reg.AdmissionStats()
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Shards:        make([]ShardStats, len(stats)),
 		Totals:        shardStatsJSON(service.Totals(stats)),
+		Admission: AdmissionStats{
+			Builders:      ast.Builders,
+			QueueCapacity: ast.QueueCapacity,
+			Pending:       ast.Pending,
+			Submitted:     ast.Submitted,
+			Completed:     ast.Completed,
+			Failed:        ast.Failed,
+			Rejected:      ast.Rejected,
+		},
 	}
 	for i, st := range stats {
 		resp.Shards[i] = shardStatsJSON(st)
@@ -438,5 +581,13 @@ func shardStatsJSON(s service.ShardStats) ShardStats {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Configs: s.reg.Len(), Shards: s.reg.Shards()})
+	// Len and AdmissionStats read cached atomics — a liveness probe must
+	// never queue behind shard traffic (pre-PR-5, Len issued a synchronous
+	// request per shard and a single mid-build shard failed the probe).
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:            "ok",
+		Configs:           s.reg.Len(),
+		Shards:            s.reg.Shards(),
+		PendingAdmissions: s.reg.AdmissionStats().Pending,
+	})
 }

@@ -1,0 +1,293 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"anonradio/internal/config"
+	"anonradio/internal/election"
+)
+
+// This file implements the admission pipeline: a bounded queue in front of
+// a pool of builder goroutines that classify, compile and validate
+// configurations *off* the serve path, then hand the finished algorithm to
+// the owning shard as an O(1) install request. The pipeline is what keeps
+// elections on a shard from stalling behind a concurrent build on the same
+// shard (experiment E14 measures the difference against the retained
+// build-on-shard mode).
+
+// ErrAdmissionBusy is returned (wrapped) by registrations when the bounded
+// admission queue is full. It is the service's backpressure signal: the
+// caller should retry after a short delay (the HTTP layer surfaces it as
+// 429 with a Retry-After header).
+var ErrAdmissionBusy = errors.New("service: admission queue is full")
+
+// AdmissionState is the lifecycle of one admission.
+type AdmissionState uint8
+
+const (
+	// AdmissionUnknown means no admission was ever submitted for the key.
+	AdmissionUnknown AdmissionState = iota
+	// AdmissionQueued means the admission sits in the bounded queue, ahead
+	// of the builder pool.
+	AdmissionQueued
+	// AdmissionBuilding means a builder is classifying, compiling or
+	// validating the configuration.
+	AdmissionBuilding
+	// AdmissionDone means the algorithm is installed and servable.
+	AdmissionDone
+	// AdmissionFailed means the admission failed (infeasible configuration,
+	// invalid artifact, registry closed mid-flight); Err carries the cause.
+	AdmissionFailed
+)
+
+// String returns the lower-case wire name of the state.
+func (s AdmissionState) String() string {
+	switch s {
+	case AdmissionQueued:
+		return "queued"
+	case AdmissionBuilding:
+		return "building"
+	case AdmissionDone:
+		return "done"
+	case AdmissionFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminal reports whether the state is final (done or failed).
+func (s AdmissionState) Terminal() bool {
+	return s == AdmissionDone || s == AdmissionFailed
+}
+
+// AdmissionStatus is the pollable progress of the most recent admission
+// submitted for a key (synchronous or asynchronous).
+type AdmissionStatus struct {
+	// Key is the registry key the admission was submitted under.
+	Key string
+	// State is the admission's lifecycle state.
+	State AdmissionState
+	// Err carries the failure when State is AdmissionFailed.
+	Err error
+}
+
+// AdmissionStats is a snapshot of the pipeline's counters.
+type AdmissionStats struct {
+	// Builders is the size of the builder pool.
+	Builders int
+	// QueueCapacity is the bound of the admission queue.
+	QueueCapacity int
+	// Pending counts admissions submitted but not yet terminal (queued or
+	// building).
+	Pending int64
+	// Submitted counts admissions accepted into the queue.
+	Submitted int64
+	// Completed counts admissions that installed successfully.
+	Completed int64
+	// Failed counts admissions that ended in AdmissionFailed.
+	Failed int64
+	// Rejected counts registrations refused with ErrAdmissionBusy.
+	Rejected int64
+}
+
+// admissionRecord tracks one admission's progress. The submitting call
+// allocates it, the builder mutates it (under admitMu), and AdmissionStatus
+// reads it; re-admitting a key replaces the map entry but in-flight older
+// admissions keep updating their own detached record.
+type admissionRecord struct {
+	state AdmissionState
+	err   error
+}
+
+// admission is one queued registration, handed from the submitting call to
+// a builder goroutine.
+type admission struct {
+	key      string
+	cfg      *config.Config
+	compiled *election.Compiled
+	trust    trustMode
+	rec      *admissionRecord
+	reply    chan response // non-nil for synchronous admissions
+}
+
+// RegisterAsync enqueues an admission of cfg under key and returns without
+// waiting for the build: the builder pool classifies and compiles it in the
+// background and installs it on the owning shard. Poll AdmissionStatus(key)
+// for progress. It returns ErrAdmissionBusy (wrapped) when the admission
+// queue is full and ErrClosed on a closed registry; build failures are
+// reported through the admission status, not the return value.
+func (r *Registry) RegisterAsync(key string, cfg *config.Config) error {
+	if cfg == nil {
+		return fmt.Errorf("service: nil configuration")
+	}
+	return r.admitAsync(key, cfg, nil)
+}
+
+// RegisterCompiledAsync is RegisterAsync for a pre-compiled artifact; the
+// validation policy follows Options.TrustCompiledDigests exactly like
+// RegisterCompiled.
+func (r *Registry) RegisterCompiledAsync(key string, c *election.Compiled, cfg *config.Config) error {
+	if c == nil || cfg == nil {
+		return fmt.Errorf("service: nil compiled algorithm or configuration")
+	}
+	return r.admitAsync(key, cfg, c)
+}
+
+// admitAsync enqueues an admission without a reply channel. Async
+// admissions always use the builder pool, even under Options.BuildOnShard.
+func (r *Registry) admitAsync(key string, cfg *config.Config, c *election.Compiled) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	return r.enqueue(admission{key: key, cfg: cfg, compiled: c})
+}
+
+// AdmissionStatus reports the progress of the most recent admission
+// submitted for key through the pipeline (State is AdmissionUnknown if none
+// was). Statuses describe admissions, not presence — use Elect or Stats for
+// the serving side. Records are bounded, not eternal: evicting a key drops
+// its terminal record, and when the map would grow past its cap (see
+// admittedCap) all terminal records are pruned — a poller that abandoned a
+// finished admission thousands of admissions ago reads AdmissionUnknown.
+func (r *Registry) AdmissionStatus(key string) AdmissionStatus {
+	r.admitMu.Lock()
+	defer r.admitMu.Unlock()
+	rec := r.admitted[key]
+	if rec == nil {
+		return AdmissionStatus{Key: key, State: AdmissionUnknown}
+	}
+	return AdmissionStatus{Key: key, State: rec.state, Err: rec.err}
+}
+
+// AdmissionStats snapshots the pipeline counters. It reads atomics only —
+// like Len, it never enters a shard queue and stays responsive under load.
+func (r *Registry) AdmissionStats() AdmissionStats {
+	return AdmissionStats{
+		Builders:      r.builderCount,
+		QueueCapacity: cap(r.admissions),
+		Pending:       r.admPending.Load(),
+		Submitted:     r.admSubmitted.Load(),
+		Completed:     r.admCompleted.Load(),
+		Failed:        r.admFailed.Load(),
+		Rejected:      r.admRejected.Load(),
+	}
+}
+
+// enqueue offers the admission to the bounded queue without blocking,
+// creating its pollable record on acceptance. Callers hold r.mu (read
+// side), so the queue cannot be closed underneath the send.
+func (r *Registry) enqueue(job admission) error {
+	job.rec = &admissionRecord{state: AdmissionQueued}
+	r.admitMu.Lock()
+	select {
+	case r.admissions <- job:
+		if len(r.admitted) >= r.admitCap() {
+			r.pruneAdmitted()
+		}
+		r.admitted[job.key] = job.rec
+		r.admitMu.Unlock()
+		r.admSubmitted.Add(1)
+		r.admPending.Add(1)
+		return nil
+	default:
+		r.admitMu.Unlock()
+		r.admRejected.Add(1)
+		return fmt.Errorf("%w (capacity %d); retry later", ErrAdmissionBusy, cap(r.admissions))
+	}
+}
+
+// admitCap bounds the admission-status map so unbounded key churn cannot
+// leak a record per key forever. Non-terminal records never exceed the
+// queue bound plus the builder pool, so a prune always gets well under the
+// cap.
+func (r *Registry) admitCap() int {
+	if c := 4 * cap(r.admissions); c > 4096 {
+		return c
+	}
+	return 4096
+}
+
+// pruneAdmitted drops every terminal (done/failed) record; callers hold
+// admitMu. Amortized O(1) per admission: each sweep frees at least
+// cap - (queue + builders) slots.
+func (r *Registry) pruneAdmitted() {
+	for key, rec := range r.admitted {
+		if rec.state.Terminal() {
+			delete(r.admitted, key)
+		}
+	}
+}
+
+// setRecord publishes an admission's state transition.
+func (r *Registry) setRecord(rec *admissionRecord, state AdmissionState, err error) {
+	r.admitMu.Lock()
+	rec.state, rec.err = state, err
+	r.admitMu.Unlock()
+}
+
+// builder is one pool goroutine: it owns a reusable build arena and drains
+// the admission queue until Close.
+func (r *Registry) builder() {
+	defer r.builders.Done()
+	arena := election.NewBuildArena()
+	for job := range r.admissions {
+		r.admit(arena, job)
+	}
+}
+
+// admit runs one admission end to end on the builder goroutine: build (or
+// validate) off the serve path, then install on the owning shard as an O(1)
+// request, then publish the terminal state and wake a synchronous waiter.
+func (r *Registry) admit(arena *election.BuildArena, job admission) {
+	if r.closed.Load() {
+		// Draining after Close: every queued job is asynchronous (a
+		// synchronous waiter would have blocked Close via the read lock),
+		// so fail it fast instead of building into torn-down shards.
+		r.finish(job, response{out: Outcome{Key: job.key, Leader: -1, Err: ErrClosed}})
+		return
+	}
+	r.setRecord(job.rec, AdmissionBuilding, nil)
+	if r.buildHook != nil {
+		r.buildHook(job.key)
+	}
+	var (
+		d   *election.Dedicated
+		err error
+	)
+	switch {
+	case job.compiled != nil && (job.trust == trustDigest || (job.trust == trustRegistry && r.trustDigests)):
+		d, err = election.LoadTrusted(job.compiled, job.cfg)
+	case job.compiled != nil:
+		d, err = election.Load(job.compiled, job.cfg)
+	default:
+		d, err = election.BuildDedicatedInto(arena, job.cfg)
+	}
+	// Failures route through the shard too, so its Failures counter stays
+	// the authoritative per-shard account of failed admissions.
+	reply := r.replies.Get().(chan response)
+	sh := r.shardFor(job.key)
+	sh.requests <- request{op: opInstall, key: job.key, d: d, buildErr: err, reply: reply}
+	resp := <-reply
+	r.replies.Put(reply)
+	r.finish(job, resp)
+}
+
+// finish publishes the terminal admission state and releases a synchronous
+// waiter.
+func (r *Registry) finish(job admission, resp response) {
+	if resp.out.Err != nil {
+		r.setRecord(job.rec, AdmissionFailed, resp.out.Err)
+		r.admFailed.Add(1)
+	} else {
+		r.setRecord(job.rec, AdmissionDone, nil)
+		r.admCompleted.Add(1)
+	}
+	r.admPending.Add(-1)
+	if job.reply != nil {
+		job.reply <- resp
+	}
+}

@@ -1,18 +1,32 @@
 // Package service implements the sharded election service: a long-lived
 // registry of dedicated leader-election algorithms served from worker-owned
-// shards.
+// shards, with admissions built off the serve path by a bounded builder
+// pool.
 //
 // The Registry hashes configuration keys onto N shards. Each shard is owned
 // by exactly one worker goroutine that holds everything the shard needs —
 // its configurations (each an *election.Dedicated with its pooled
-// simulator), a reusable build arena for admissions, one reusable
-// ElectionOutcome per configuration, and its own statistics counters. Every
-// operation on a shard (registration, election, eviction, stats snapshot)
-// executes *on* the owning worker via its request queue, so shard state
-// needs no locks, shares no memory across shards, and the steady-state
-// serve path performs zero heap allocations: requests and responses travel
-// by value through buffered channels, reply channels are drawn from a pool,
-// and the election itself runs on the zero-alloc Dedicated.ElectInto path.
+// simulator), one reusable ElectionOutcome per configuration, and its own
+// statistics counters. Every operation on a shard (election, install,
+// eviction, stats snapshot) executes *on* the owning worker via its request
+// queue, so shard state needs no locks, shares no memory across shards, and
+// the steady-state serve path performs zero heap allocations: requests and
+// responses travel by value through buffered channels, reply channels are
+// drawn from a pool, and the election itself runs on the zero-alloc
+// Dedicated.ElectInto path.
+//
+// Admissions are pipelined, not served inline: Register, RegisterCompiled
+// and their Async variants enqueue onto a bounded admission queue drained
+// by a pool of builder goroutines. A builder classifies and compiles the
+// configuration (or validates its compiled artifact) on its own reusable
+// build arena — outside every shard worker — and hands the finished
+// algorithm to the owning shard as a cheap O(1) install request. Elections
+// on a shard therefore never wait behind a build. When the queue is full,
+// admissions fail fast with ErrAdmissionBusy (backpressure; the HTTP layer
+// maps it to 429), and every admission's progress is pollable through
+// AdmissionStatus. The pre-pipeline behavior (builds on the shard worker)
+// is retained behind Options.BuildOnShard for comparison — experiment E14
+// measures the difference.
 //
 // The design trades large-result access for serve throughput: a served
 // Outcome carries the elected leader and the round count by value, not the
@@ -56,12 +70,36 @@ type Options struct {
 	// QueueDepth is the per-shard request buffer; <= 0 selects 64. A deeper
 	// queue lets batch submitters run further ahead of a busy shard.
 	QueueDepth int
+	// Builders is the number of builder-pool goroutines that classify,
+	// compile and validate admissions off the serve path; <= 0 selects
+	// GOMAXPROCS.
+	Builders int
+	// AdmissionQueue bounds how many admissions may be queued ahead of the
+	// builder pool; <= 0 selects 256. When the queue is full, registrations
+	// fail fast with ErrAdmissionBusy instead of piling up behind slow
+	// builds.
+	AdmissionQueue int
 	// TrustCompiledDigests selects election.LoadTrusted for RegisterCompiled
 	// admissions: artifacts whose phase-table digest verifies skip the
 	// recompile-and-compare validation. Enable it only when every admitted
 	// artifact comes from a source the deployment already trusts; the
 	// default (false) fully validates every artifact.
 	TrustCompiledDigests bool
+	// BuildOnShard routes synchronous Register/RegisterCompiled builds onto
+	// the owning shard worker — the pre-pipeline admission behavior, under
+	// which one expensive build stalls every election on its shard. It is
+	// retained only for comparison (experiment E14 measures before/after);
+	// leave it off in deployments. Async admissions always use the builder
+	// pool.
+	BuildOnShard bool
+	// BuildHook, when non-nil, is invoked with the key being admitted, on
+	// the goroutine performing the build (a pool builder, or the shard
+	// worker under BuildOnShard), immediately before the build or artifact
+	// validation starts. It exists for tests and instrumentation — e.g.
+	// deterministically holding a build open to observe backpressure.
+	// Leave nil in production; a hook that never returns wedges its builder
+	// and deadlocks Close.
+	BuildHook func(key string)
 }
 
 // Outcome is the value-typed result of one served election. It aliases no
@@ -90,7 +128,8 @@ type ShardStats struct {
 	Shard int
 	// Configs is the number of configurations currently registered.
 	Configs int
-	// Builds counts successful admissions (Register and RegisterCompiled).
+	// Builds counts successful admissions (installs of built or loaded
+	// algorithms).
 	Builds int64
 	// Elections counts successfully served elections.
 	Elections int64
@@ -118,8 +157,9 @@ func Totals(stats []ShardStats) ShardStats {
 type opKind uint8
 
 const (
-	opElect opKind = iota
-	opRegister
+	opElect    opKind = iota
+	opRegister        // legacy build-on-shard admission (Options.BuildOnShard)
+	opInstall         // O(1) hand-off of a pipeline-built algorithm to its shard
 	opEvict
 	opStats
 	opSnapshot
@@ -148,6 +188,8 @@ type request struct {
 	cfg      *config.Config
 	compiled *election.Compiled
 	trust    trustMode
+	d        *election.Dedicated // opInstall: the pipeline-built algorithm
+	buildErr error               // opInstall: the build failure to account
 	reply    chan response
 }
 
@@ -172,24 +214,50 @@ type shard struct {
 	id       int
 	requests chan request
 	entries  map[string]*entry
-	arena    *election.BuildArena
+	arena    *election.BuildArena // used only under Options.BuildOnShard
 	stats    ShardStats
 }
 
-// Registry is the sharded election service. All methods are safe for
-// concurrent use, except that Close must not race with other calls (closing
-// tears the request queues down).
+// Registry is the sharded election service. All methods, including Close,
+// are safe for concurrent use.
 type Registry struct {
-	shards       []*shard
-	replies      sync.Pool // chan response, cap 1 — single-request rendezvous
-	batches      sync.Pool // chan response, batch-sized — ElectBatch gather
-	wg           sync.WaitGroup
-	closed       atomic.Bool
+	shards  []*shard
+	replies sync.Pool      // chan response, cap 1 — single-request rendezvous
+	batches sync.Pool      // chan response, batch-sized — ElectBatch gather
+	workers sync.WaitGroup // shard workers
+
+	// mu serializes Close against every other operation: public methods
+	// hold the read side for their full duration, Close takes the write
+	// side, so a call observes either a fully live or a fully closed
+	// registry — never a torn-down one (the pre-PR-5 check-then-send raced
+	// with Close and could panic on a closed request channel).
+	mu     sync.RWMutex
+	closed atomic.Bool
+
 	trustDigests bool
+	buildOnShard bool
+	buildHook    func(key string)
+
+	// Admission pipeline state (admission.go).
+	admissions   chan admission
+	builders     sync.WaitGroup
+	builderCount int
+	admitMu      sync.Mutex
+	admitted     map[string]*admissionRecord
+	admSubmitted atomic.Int64
+	admCompleted atomic.Int64
+	admFailed    atomic.Int64
+	admRejected  atomic.Int64
+	admPending   atomic.Int64
+
+	// configCount caches the registered-configuration total so health
+	// probes (Len) never enter a shard queue. Only shard workers update it.
+	configCount atomic.Int64
 }
 
-// New starts a registry with opts.Shards worker-owned shards. The registry
-// holds goroutines; release it with Close.
+// New starts a registry with opts.Shards worker-owned shards and
+// opts.Builders admission builders. The registry holds goroutines; release
+// it with Close.
 func New(opts Options) *Registry {
 	shards := opts.Shards
 	if shards <= 0 {
@@ -199,7 +267,23 @@ func New(opts Options) *Registry {
 	if depth <= 0 {
 		depth = 64
 	}
-	r := &Registry{shards: make([]*shard, shards), trustDigests: opts.TrustCompiledDigests}
+	builders := opts.Builders
+	if builders <= 0 {
+		builders = runtime.GOMAXPROCS(0)
+	}
+	queue := opts.AdmissionQueue
+	if queue <= 0 {
+		queue = 256
+	}
+	r := &Registry{
+		shards:       make([]*shard, shards),
+		trustDigests: opts.TrustCompiledDigests,
+		buildOnShard: opts.BuildOnShard,
+		buildHook:    opts.BuildHook,
+		admissions:   make(chan admission, queue),
+		builderCount: builders,
+		admitted:     make(map[string]*admissionRecord),
+	}
 	r.replies.New = func() any { return make(chan response, 1) }
 	for i := range r.shards {
 		sh := &shard{
@@ -209,8 +293,12 @@ func New(opts Options) *Registry {
 			arena:    election.NewBuildArena(),
 		}
 		r.shards[i] = sh
-		r.wg.Add(1)
+		r.workers.Add(1)
 		go r.worker(sh)
+	}
+	for b := 0; b < builders; b++ {
+		r.builders.Add(1)
+		go r.builder()
 	}
 	return r
 }
@@ -227,7 +315,8 @@ func (r *Registry) shardFor(key string) *shard {
 
 // do executes one request on the shard and waits for the answer through a
 // pooled rendezvous channel; the round trip is allocation-free once the
-// pool is warm.
+// pool is warm. Callers must hold r.mu (read side) so the shard worker
+// cannot be torn down mid-request.
 func (r *Registry) do(sh *shard, req request) response {
 	reply := r.replies.Get().(chan response)
 	req.reply = reply
@@ -237,52 +326,83 @@ func (r *Registry) do(sh *shard, req request) response {
 	return resp
 }
 
-// Register classifies cfg, builds its dedicated algorithm on the owning
-// shard's build arena, and admits it under key. Re-registering a key
-// replaces its configuration (and reuses its serving buffers). It returns
-// election.ErrInfeasible (wrapped) when cfg admits no election algorithm.
+// Register classifies cfg, builds its dedicated algorithm on the builder
+// pool, installs it on the owning shard, and returns once the admission
+// completed. Re-registering a key replaces its configuration (and reuses
+// its serving buffers). It returns election.ErrInfeasible (wrapped) when
+// cfg admits no election algorithm, and ErrAdmissionBusy when the
+// admission queue is full.
 func (r *Registry) Register(key string, cfg *config.Config) error {
 	if cfg == nil {
 		return fmt.Errorf("service: nil configuration")
 	}
-	if r.closed.Load() {
-		return ErrClosed
-	}
-	resp := r.do(r.shardFor(key), request{op: opRegister, key: key, cfg: cfg})
-	return resp.out.Err
+	return r.admitSync(key, cfg, nil)
 }
 
 // RegisterCompiled admits a pre-compiled algorithm artifact for cfg under
-// key, loading it on the owning shard. The embedded phase table is fully
-// validated unless the registry was built with
-// Options.TrustCompiledDigests, in which case digest-verified artifacts
-// skip the recompilation (see election.LoadTrusted for the trust model).
+// key; the artifact is validated on the builder pool and installed on the
+// owning shard. The embedded phase table is fully validated unless the
+// registry was built with Options.TrustCompiledDigests, in which case
+// digest-verified artifacts skip the recompilation (see
+// election.LoadTrusted for the trust model).
 func (r *Registry) RegisterCompiled(key string, c *election.Compiled, cfg *config.Config) error {
 	if c == nil || cfg == nil {
 		return fmt.Errorf("service: nil compiled algorithm or configuration")
 	}
+	return r.admitSync(key, cfg, c)
+}
+
+// admitSync runs one admission to completion: through the builder pipeline
+// normally, or on the owning shard worker under Options.BuildOnShard.
+func (r *Registry) admitSync(key string, cfg *config.Config, c *election.Compiled) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if r.closed.Load() {
 		return ErrClosed
 	}
-	resp := r.do(r.shardFor(key), request{op: opRegister, key: key, cfg: cfg, compiled: c})
+	if r.buildOnShard {
+		resp := r.do(r.shardFor(key), request{op: opRegister, key: key, cfg: cfg, compiled: c})
+		return resp.out.Err
+	}
+	reply := r.replies.Get().(chan response)
+	if err := r.enqueue(admission{key: key, cfg: cfg, compiled: c, reply: reply}); err != nil {
+		r.replies.Put(reply)
+		return err
+	}
+	resp := <-reply
+	r.replies.Put(reply)
 	return resp.out.Err
 }
 
 // Evict removes the configuration registered under key and reports whether
-// it was present.
+// it was present. Evicting a key also drops its terminal admission record
+// (an in-flight re-admission keeps its); eviction is the end of the key's
+// lifecycle, and the status map must not grow with historical keys.
 func (r *Registry) Evict(key string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if r.closed.Load() {
 		return false
 	}
 	resp := r.do(r.shardFor(key), request{op: opEvict, key: key})
+	if resp.evicted {
+		r.admitMu.Lock()
+		if rec := r.admitted[key]; rec != nil && rec.state.Terminal() {
+			delete(r.admitted, key)
+		}
+		r.admitMu.Unlock()
+	}
 	return resp.evicted
 }
 
 // Elect serves one election for the configuration registered under key.
 // This is the steady-state path: once the registry is warm it performs zero
 // heap allocations end to end (pooled rendezvous channel, value-typed
-// request/response, zero-alloc ElectInto on the shard).
+// request/response, zero-alloc ElectInto on the shard), and it never waits
+// behind an admission — builds run on the builder pool, not the shard.
 func (r *Registry) Elect(key string) (Outcome, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if r.closed.Load() {
 		return Outcome{Key: key, Leader: -1, Err: ErrClosed}, ErrClosed
 	}
@@ -301,6 +421,8 @@ func (r *Registry) ElectBatch(keys []string, outs []Outcome) ([]Outcome, error) 
 	} else {
 		outs = outs[:len(keys)]
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if r.closed.Load() {
 		// Fill every slot explicitly: reused slices would otherwise carry
 		// stale outcomes from a previous batch (and fresh ones a plausible
@@ -342,39 +464,56 @@ func (r *Registry) batchReply(n int) chan response {
 }
 
 // Stats snapshots every shard's counters (one synchronous request per
-// shard, so each snapshot is internally consistent).
-func (r *Registry) Stats() []ShardStats {
-	stats := make([]ShardStats, len(r.shards))
+// shard, so each snapshot is internally consistent). On a closed registry
+// it returns ErrClosed rather than all-zero rows that would read as a
+// healthy empty server.
+func (r *Registry) Stats() ([]ShardStats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if r.closed.Load() {
-		return stats
+		return nil, ErrClosed
 	}
+	stats := make([]ShardStats, len(r.shards))
 	for i, sh := range r.shards {
 		stats[i] = r.do(sh, request{op: opStats}).stats
 	}
-	return stats
+	return stats, nil
 }
 
 // Len returns the number of registered configurations across all shards.
+// It reads a cached counter maintained by the shard workers — it never
+// enters a shard queue, so liveness probes stay responsive no matter how
+// busy the shards are. After Close it keeps reporting the final count.
 func (r *Registry) Len() int {
-	return Totals(r.Stats()).Configs
+	return int(r.configCount.Load())
 }
 
-// Close drains and stops the shard workers. It must not be called
-// concurrently with other registry methods; calling it twice is safe.
+// Close drains and stops the builder pool and the shard workers. It is safe
+// to call concurrently with other registry methods: operations that began
+// before Close complete normally, later ones return ErrClosed (or report
+// false/zero for Evict and Len). Calling it twice is safe.
 func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.closed.Swap(true) {
 		return
 	}
+	// No public operation is in flight (they hold the read lock) and none
+	// can start (closed is set), so the pipeline tears down cleanly: first
+	// the builders (which may still be installing onto live shards), then
+	// the shard workers.
+	close(r.admissions)
+	r.builders.Wait()
 	for _, sh := range r.shards {
 		close(sh.requests)
 	}
-	r.wg.Wait()
+	r.workers.Wait()
 }
 
 // worker owns one shard: it is the only goroutine that ever reads or writes
 // the shard's entries, arena and counters.
 func (r *Registry) worker(sh *shard) {
-	defer r.wg.Done()
+	defer r.workers.Done()
 	for req := range sh.requests {
 		var resp response
 		switch req.op {
@@ -383,10 +522,20 @@ func (r *Registry) worker(sh *shard) {
 		case opRegister:
 			resp.out = Outcome{Key: req.key, Index: req.index, Leader: -1}
 			trusted := req.trust == trustDigest || (req.trust == trustRegistry && r.trustDigests)
-			resp.out.Err = sh.register(req.key, req.cfg, req.compiled, trusted)
+			resp.out.Err = sh.register(req.key, req.cfg, req.compiled, trusted, r.buildHook, &r.configCount)
+		case opInstall:
+			resp.out = Outcome{Key: req.key, Index: req.index, Leader: -1}
+			if req.buildErr != nil {
+				sh.stats.Failures++
+				resp.out.Err = req.buildErr
+			} else {
+				sh.stats.Builds++
+				sh.install(req.key, req.d, &r.configCount)
+			}
 		case opEvict:
 			if _, ok := sh.entries[req.key]; ok {
 				delete(sh.entries, req.key)
+				r.configCount.Add(-1)
 				resp.evicted = true
 			}
 		case opStats:
@@ -400,7 +549,25 @@ func (r *Registry) worker(sh *shard) {
 	}
 }
 
-func (sh *shard) register(key string, cfg *config.Config, compiled *election.Compiled, trustDigests bool) error {
+// install admits a finished algorithm under key; it runs on the owning
+// worker and is O(1) — the build already happened elsewhere.
+func (sh *shard) install(key string, d *election.Dedicated, configCount *atomic.Int64) {
+	e := sh.entries[key]
+	if e == nil {
+		e = &entry{}
+		sh.entries[key] = e
+		configCount.Add(1)
+	}
+	e.d = d // replacing a key keeps its reusable outcome buffers
+}
+
+// register is the legacy build-on-shard admission (Options.BuildOnShard):
+// the build runs on the owning worker, stalling the shard's elections for
+// its duration.
+func (sh *shard) register(key string, cfg *config.Config, compiled *election.Compiled, trustDigests bool, hook func(string), configCount *atomic.Int64) error {
+	if hook != nil {
+		hook(key)
+	}
 	var (
 		d   *election.Dedicated
 		err error
@@ -418,12 +585,7 @@ func (sh *shard) register(key string, cfg *config.Config, compiled *election.Com
 		return err
 	}
 	sh.stats.Builds++
-	e := sh.entries[key]
-	if e == nil {
-		e = &entry{}
-		sh.entries[key] = e
-	}
-	e.d = d // replacing a key keeps its reusable outcome buffers
+	sh.install(key, d, configCount)
 	return nil
 }
 

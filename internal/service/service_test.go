@@ -142,7 +142,11 @@ func TestServiceErrors(t *testing.T) {
 	if r.Evict("ok") {
 		t.Fatalf("evicting an absent key should report false")
 	}
-	total := Totals(r.Stats())
+	stats, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := Totals(stats)
 	if total.Failures < 2 || total.Builds != 1 {
 		t.Fatalf("unexpected totals: %+v", total)
 	}
@@ -302,7 +306,10 @@ func TestServiceConcurrentStress(t *testing.T) {
 						return
 					}
 				case 3:
-					_ = r.Stats()
+					if _, err := r.Stats(); err != nil {
+						errs <- fmt.Errorf("client %d stats: %w", c, err)
+						return
+					}
 				default: // steady-state elections on shared keys
 					key := shared[rng.Intn(len(shared))]
 					out, err := r.Elect(key)
@@ -321,7 +328,11 @@ func TestServiceConcurrentStress(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	total := Totals(r.Stats())
+	stats, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := Totals(stats)
 	if total.Elections == 0 || total.Builds < clients {
 		t.Fatalf("stress run served nothing: %+v", total)
 	}
@@ -341,7 +352,10 @@ func TestServiceShardAffinity(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	stats := r.Stats()
+	stats, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
 	serving := 0
 	for _, s := range stats {
 		if s.Elections > 0 {

@@ -102,6 +102,8 @@ type RestoreReport struct {
 // internally consistent (concurrent admissions land in the snapshot iff
 // they reached their shard first).
 func (r *Registry) SnapshotEntries() ([]SnapshotEntry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if r.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -221,11 +223,16 @@ func ReadManifest(dir string) (*Manifest, error) {
 // manifest) falls back to the full recompile-and-compare validation, which
 // still rejects artifacts that disagree with their own blueprint.
 //
-// Entries restore concurrently (one parser goroutine per core; shard
-// workers admit in parallel), so a cold boot uses the whole machine. On
+// Entries restore concurrently (one loader goroutine per core, each
+// parsing and validating its artifacts off the serve path, then installing
+// onto the owning shard as an O(1) request), so a cold boot uses the whole
+// machine without queueing through the bounded admission pipeline — a
+// restore is operator-initiated and should never see ErrAdmissionBusy. On
 // failure Restore reports the failing entry of the lowest manifest index
 // and stops issuing new work; entries already admitted stay admitted.
 func (r *Registry) Restore(dir string) (*RestoreReport, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if r.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -284,8 +291,10 @@ func (r *Registry) Restore(dir string) (*RestoreReport, error) {
 	return &report, nil
 }
 
-// restoreEntry parses and re-admits one manifest entry, reporting whether
-// it went through the digest-trusted fast path.
+// restoreEntry parses, validates and re-admits one manifest entry on the
+// calling restore goroutine (the shard only sees the O(1) install),
+// reporting whether it went through the digest-trusted fast path. The
+// caller holds r.mu (read side).
 func (r *Registry) restoreEntry(dir string, me ManifestEntry) (trusted bool, err error) {
 	cfgData, err := os.ReadFile(filepath.Join(dir, me.ConfigFile))
 	if err != nil {
@@ -303,15 +312,18 @@ func (r *Registry) restoreEntry(dir string, me ManifestEntry) (trusted bool, err
 	if err != nil {
 		return false, fmt.Errorf("service: restoring %q: %w", me.Key, err)
 	}
-	trust := trustFull
-	if me.ArtifactDigest != "" && artifact.ArtifactDigest == me.ArtifactDigest {
-		trust = trustDigest
+	trusted = me.ArtifactDigest != "" && artifact.ArtifactDigest == me.ArtifactDigest
+	var d *election.Dedicated
+	if trusted {
+		d, err = election.LoadTrusted(artifact, cfg)
+	} else {
+		d, err = election.Load(artifact, cfg)
 	}
-	resp := r.do(r.shardFor(me.Key), request{op: opRegister, key: me.Key, cfg: cfg, compiled: artifact, trust: trust})
+	resp := r.do(r.shardFor(me.Key), request{op: opInstall, key: me.Key, d: d, buildErr: err})
 	if resp.out.Err != nil {
 		return false, fmt.Errorf("service: restoring %q: %w", me.Key, resp.out.Err)
 	}
-	return trust == trustDigest, nil
+	return trusted, nil
 }
 
 // snapshot compiles every entry of the shard; it runs on the owning worker.
