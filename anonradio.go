@@ -40,6 +40,7 @@ import (
 	"anonradio/internal/radio"
 	"anonradio/internal/server"
 	"anonradio/internal/service"
+	"anonradio/internal/wal"
 )
 
 // Config is a configuration: a connected undirected graph whose nodes carry
@@ -437,10 +438,65 @@ func SnapshotService(s *Service, dir string) (*ServiceSnapshotManifest, error) {
 // RestoreService re-admits a snapshot directory into the service. Entries
 // whose artifact digest matches the manifest load through the
 // digest-trusted fast path (skipping recompilation — the cheap cold-start
-// path); mismatches fall back to the fully validated load.
+// path); mismatches fall back to the fully validated load. Damaged entries
+// are skipped and reported (ServiceRestoreReport.Skipped), never fatal;
+// only a manifest-level failure errors.
 func RestoreService(s *Service, dir string) (*ServiceRestoreReport, error) {
 	return s.Restore(dir)
 }
+
+// ServiceRestoreSkip is one snapshot entry a restore could not re-admit
+// (key + reason); the undamaged entries still boot.
+type ServiceRestoreSkip = service.RestoreSkip
+
+// ServiceWALOptions configure the durable registry's admission journal:
+// directory, fsync policy, and checkpoint triggers. See OpenService.
+type ServiceWALOptions = service.WALOptions
+
+// ServiceRecoveryReport summarizes what OpenService brought back: the
+// checkpoint restore, the journal replay (admits, evicts, per-record
+// faults), and every piece of damage tolerated along the way. Clean()
+// reports a loss-free boot.
+type ServiceRecoveryReport = service.RecoveryReport
+
+// ServiceWALStats is an atomics-only snapshot of the journal's counters
+// (appends, sync lag, segment count, checkpoints), as returned by
+// (*Service).WALStats and served under GET /v1/stats.
+type ServiceWALStats = service.WALStats
+
+// WALSyncPolicy selects when journal appends reach stable storage:
+// WALSyncAlways (fsync before the append returns), WALSyncBatch
+// (write-through per record, background fsync timer — survives kill -9,
+// not power loss), WALSyncOff (in-process buffer).
+type WALSyncPolicy = wal.SyncPolicy
+
+// The journal fsync policies.
+const (
+	WALSyncAlways = wal.SyncAlways
+	WALSyncBatch  = wal.SyncBatch
+	WALSyncOff    = wal.SyncOff
+)
+
+// ParseWALSyncPolicy parses "always", "batch" or "off".
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// OpenService starts a durable election service: every acknowledged
+// admission and eviction is journaled to a write-ahead log in
+// opts.WAL.Dir before the call returns (per the fsync policy), a
+// background checkpoint snapshots the registry and truncates the journal,
+// and this call replays checkpoint + journal back into a serving registry
+// — tolerating torn or corrupt records with a per-record report instead
+// of refusing to boot. The election serve path is untouched: steady-state
+// Elect stays zero-alloc with the journal enabled.
+func OpenService(opts ServiceOptions) (*Service, *ServiceRecoveryReport, error) {
+	return service.Open(opts)
+}
+
+// CheckpointService snapshots the durable service into its checkpoint
+// directory and truncates the journal (rotate → snapshot → delete frozen
+// segments; crash-safe in every window). The background checkpointer does
+// this on a timer; call it explicitly before planned maintenance.
+func CheckpointService(s *Service) error { return s.Checkpoint() }
 
 // Server is the HTTP/JSON front-end over a Service: register, elect, batch
 // elect, evict, stats and health endpoints with per-endpoint counters and
@@ -558,7 +614,7 @@ func NewParallelSimulator(cfg *Config, workers int) (*Simulator, error) {
 	return radio.NewParallelSimulator(cfg, workers)
 }
 
-// RunExperiments regenerates every experiment table (E1-E14, A1) and writes
+// RunExperiments regenerates every experiment table (E1-E15, A1) and writes
 // them to w. With quick=true a reduced parameter sweep is used. The election
 // experiments run on the sequential engine; use RunExperimentsOn to choose.
 func RunExperiments(w io.Writer, quick bool, seed int64) error {

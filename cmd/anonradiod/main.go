@@ -4,6 +4,12 @@
 //
 // The daemon owns the registry lifecycle around the network layer:
 //
+//   - with -wal-dir it runs durably: every acknowledged admission and
+//     eviction is journaled before the call returns (fsync policy per
+//     -wal-sync), a background checkpoint truncates the journal, and a
+//     restart replays checkpoint + journal through the digest-trusted
+//     fast path — crash recovery included (torn or corrupt records are
+//     truncated or skipped and reported, never a refused boot);
 //   - with -restore-on-boot it re-admits a snapshot directory through the
 //     digest-trusted artifact fast path before the listener opens, so a
 //     cold restart skips reclassifying and recompiling the fleet;
@@ -16,7 +22,8 @@
 //	anonradiod [-listen :8080] [-shards N] [-queue-depth N] [-builders N]
 //	           [-admission-queue N] [-trust-artifacts] [-snapshot-dir DIR]
 //	           [-restore-on-boot] [-snapshot-on-shutdown]
-//	           [-shutdown-timeout 10s]
+//	           [-shutdown-timeout 10s] [-wal-dir DIR]
+//	           [-wal-sync always|batch|off] [-checkpoint-every 1m]
 //
 // A minimal session against a running daemon:
 //
@@ -42,9 +49,15 @@ import (
 
 	"anonradio/internal/server"
 	"anonradio/internal/service"
+	"anonradio/internal/wal"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code: the registry teardown must happen before
+// the process exits even on degraded paths, which os.Exit-in-main would
+// skip past.
+func run() int {
 	var (
 		listen          = flag.String("listen", ":8080", "listen address")
 		shards          = flag.Int("shards", 0, "worker-owned shards (0 = GOMAXPROCS)")
@@ -57,22 +70,61 @@ func main() {
 		snapOnShutdown  = flag.Bool("snapshot-on-shutdown", false, "snapshot the registry into -snapshot-dir after the graceful shutdown")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "how long a graceful shutdown may wait for in-flight requests")
 		maxBatch        = flag.Int("max-batch", 0, "largest accepted /v1/elect/batch key count (0 = default 8192)")
+		walDir          = flag.String("wal-dir", "", "admission journal directory; enables durability (replay on boot, journal on admit/evict, background checkpoints)")
+		walSync         = flag.String("wal-sync", "always", "journal fsync policy: always (fsync before acknowledging), batch (group fsync on a short timer), off (OS decides)")
+		checkpointEvery = flag.Duration("checkpoint-every", time.Minute, "background checkpoint interval: snapshot the registry and truncate the journal (0 disables the timer)")
 	)
 	flag.Parse()
 	log.SetPrefix("anonradiod: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
 	if (*restoreOnBoot || *snapOnShutdown) && *snapshotDir == "" {
-		log.Fatal("-restore-on-boot and -snapshot-on-shutdown require -snapshot-dir")
+		log.Print("-restore-on-boot and -snapshot-on-shutdown require -snapshot-dir")
+		return 2
 	}
 
-	reg := service.New(service.Options{
+	opts := service.Options{
 		Shards:               *shards,
 		QueueDepth:           *queueDepth,
 		Builders:             *buildersN,
 		AdmissionQueue:       *admissionQueue,
 		TrustCompiledDigests: *trust,
-	})
+	}
+	var reg *service.Registry
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Printf("-wal-sync: %v", err)
+			return 2
+		}
+		start := time.Now()
+		opts.WAL = service.WALOptions{Dir: *walDir, Sync: policy, CheckpointEvery: *checkpointEvery}
+		var report *service.RecoveryReport
+		reg, report, err = service.Open(opts)
+		if err != nil {
+			log.Printf("opening durable registry at %s: %v", *walDir, err)
+			return 1
+		}
+		log.Printf("recovered %s in %s: checkpoint %d entries, journal %d admits / %d evicts across %d segments (sync=%s, checkpoint every %s)",
+			*walDir, time.Since(start).Round(time.Millisecond),
+			report.Checkpoint.Entries, report.Admits, report.Evicts,
+			report.Journal.Segments, policy, *checkpointEvery)
+		if !report.Clean() {
+			for _, f := range report.Journal.Faults {
+				log.Printf("recovery: journal damage in %s at offset %d: %s", f.Segment, f.Offset, f.Reason)
+			}
+			for _, s := range report.Checkpoint.Skipped {
+				log.Printf("recovery: checkpoint entry %q skipped: %s", s.Key, s.Reason)
+			}
+			for _, s := range report.Skipped {
+				log.Printf("recovery: journal record %d (%s %q) skipped: %s", s.Index, s.Op, s.Key, s.Reason)
+			}
+			log.Printf("recovery: booted degraded — %d journal faults, %d checkpoint entries and %d records skipped (acknowledged-but-damaged state is lost; see docs/SERVER.md#durability)",
+				len(report.Journal.Faults), len(report.Checkpoint.Skipped), len(report.Skipped))
+		}
+	} else {
+		reg = service.New(opts)
+	}
 	defer reg.Close()
 
 	if *restoreOnBoot {
@@ -82,10 +134,14 @@ func main() {
 		case err != nil && errors.Is(err, os.ErrNotExist):
 			log.Printf("no snapshot at %s; starting empty", *snapshotDir)
 		case err != nil:
-			log.Fatalf("restoring %s: %v", *snapshotDir, err)
+			log.Printf("restoring %s: %v", *snapshotDir, err)
+			return 1
 		default:
 			log.Printf("restored %d configurations from %s in %s (%d digest-trusted, %d revalidated)",
 				report.Entries, *snapshotDir, time.Since(start).Round(time.Millisecond), report.Trusted, report.Revalidated)
+			for _, s := range report.Skipped {
+				log.Printf("restore: entry %q skipped: %s", s.Key, s.Reason)
+			}
 		}
 	}
 
@@ -112,23 +168,41 @@ func main() {
 		}
 	case err := <-done:
 		// The listener died on its own (port in use, ...): nothing to drain.
-		log.Fatalf("serve: %v", err)
+		log.Printf("serve: %v", err)
+		return 1
 	}
 
+	// The drain already happened, so a failed shutdown snapshot must not
+	// abort the teardown: log it, finish the lifecycle (final checkpoint,
+	// registry close, stats), and report the failure in the exit code. A
+	// durable daemon already has the state journaled anyway.
+	exit := 0
 	if *snapOnShutdown {
 		start := time.Now()
 		manifest, err := reg.Snapshot(*snapshotDir)
 		if err != nil {
-			log.Fatalf("snapshotting to %s: %v", *snapshotDir, err)
+			log.Printf("snapshotting to %s failed: %v (registry state is NOT in %s; exiting nonzero after teardown)",
+				*snapshotDir, err, *snapshotDir)
+			exit = 1
+		} else {
+			log.Printf("snapshotted %d configurations to %s in %s",
+				len(manifest.Entries), *snapshotDir, time.Since(start).Round(time.Millisecond))
 		}
-		log.Printf("snapshotted %d configurations to %s in %s",
-			len(manifest.Entries), *snapshotDir, time.Since(start).Round(time.Millisecond))
+	}
+	if *walDir != "" {
+		// One final checkpoint so the next boot replays an empty (or tiny)
+		// journal; failure is non-fatal for the same reason as above — the
+		// journal alone reconstructs the state.
+		if err := reg.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v (next boot replays the journal instead)", err)
+		}
 	}
 	stats, err := reg.Stats()
 	if err != nil {
 		log.Printf("final stats unavailable: %v; bye", err)
-		return
+		return exit
 	}
 	total := service.Totals(stats)
 	log.Printf("served %d elections (%d failures); bye", total.Elections, total.Failures)
+	return exit
 }

@@ -30,8 +30,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(all))
+	if len(all) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

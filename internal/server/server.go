@@ -45,6 +45,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"anonradio/internal/config"
@@ -265,6 +266,40 @@ type AdmissionStats struct {
 	Rejected int64 `json:"rejected"`
 }
 
+// WALStats mirrors service.WALStats with JSON tags: the admission
+// journal's counters as served by GET /v1/stats.
+type WALStats struct {
+	// Enabled reports whether the registry journals admissions at all;
+	// every other field is zero when false.
+	Enabled bool `json:"enabled"`
+	// Dir is the journal directory.
+	Dir string `json:"dir,omitempty"`
+	// Policy is the fsync policy ("always", "batch", "off").
+	Policy string `json:"policy,omitempty"`
+	// Appends counts records journaled since boot.
+	Appends uint64 `json:"appends"`
+	// Unsynced is the WAL lag: records acknowledged but not yet on stable
+	// storage.
+	Unsynced uint64 `json:"unsynced"`
+	// Syncs counts fsync calls.
+	Syncs uint64 `json:"syncs"`
+	// AppendFailures counts admissions that installed but could not be
+	// journaled.
+	AppendFailures int64 `json:"append_failures"`
+	// JournalBytes is the journal size across all segments.
+	JournalBytes int64 `json:"journal_bytes"`
+	// Segments is the number of segment files, including the active one.
+	Segments int `json:"segments"`
+	// RecordsSinceCheckpoint counts journal records a crash would replay.
+	RecordsSinceCheckpoint int64 `json:"records_since_checkpoint"`
+	// Checkpoints counts completed checkpoints since boot.
+	Checkpoints int64 `json:"checkpoints"`
+	// CheckpointFailures counts background checkpoints that failed.
+	CheckpointFailures int64 `json:"checkpoint_failures"`
+	// LastCheckpointSeconds is the duration of the most recent checkpoint.
+	LastCheckpointSeconds float64 `json:"last_checkpoint_seconds"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	// UptimeSeconds is the time since the server was created.
@@ -275,6 +310,9 @@ type StatsResponse struct {
 	Totals ShardStats `json:"totals"`
 	// Admission holds the admission pipeline counters.
 	Admission AdmissionStats `json:"admission"`
+	// WAL holds the admission journal counters (Enabled is false on a
+	// non-durable registry).
+	WAL WALStats `json:"wal"`
 	// Endpoints holds the per-endpoint request/latency/outcome counters.
 	Endpoints []EndpointStats `json:"endpoints"`
 }
@@ -291,6 +329,13 @@ type HealthResponse struct {
 	Shards int `json:"shards"`
 	// PendingAdmissions counts admissions queued or building.
 	PendingAdmissions int64 `json:"pending_admissions"`
+	// WALEnabled reports whether admissions are journaled.
+	WALEnabled bool `json:"wal_enabled"`
+	// WALUnsynced is the WAL lag: records acknowledged but not yet on
+	// stable storage (always 0 under the "always" sync policy). Like every
+	// other field here it reads cached atomics — probing it never touches
+	// the journal file.
+	WALUnsynced uint64 `json:"wal_unsynced"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -338,12 +383,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError encodes err with the status its kind maps to. A 429 carries a
 // Retry-After header: the admission queue drains at build speed, so a
 // short client-side backoff is the intended reaction.
-func writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := statusFor(err)
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// retryAfterSeconds derives the 429 Retry-After value from the pipeline's
+// actual backlog instead of a constant: the queue drains at roughly one
+// admission per builder per second-ish build, so pending/builders estimates
+// the drain time. Clamped to [1, 60] — never "0" (a thundering-herd
+// invitation) and never an hour-long backoff from a transient spike.
+func (s *Server) retryAfterSeconds() int {
+	ast := s.reg.AdmissionStats()
+	builders := ast.Builders
+	if builders < 1 {
+		builders = 1
+	}
+	secs := int((ast.Pending + int64(builders) - 1) / int64(builders))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // statusFor maps service/election errors onto HTTP statuses: unknown keys
@@ -429,7 +495,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			err = s.reg.RegisterAsync(req.Key, cfg)
 		}
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, RegisterResponse{
@@ -446,7 +512,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		err = s.reg.Register(req.Key, cfg)
 	}
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RegisterResponse{Key: req.Key, Source: source, Status: "admitted"})
@@ -490,7 +556,7 @@ func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
 	}
 	out, err := s.reg.Elect(req.Key)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.metrics[epElect].elections.Add(1)
@@ -512,7 +578,7 @@ func (s *Server) handleElectBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	outs, err := s.reg.ElectBatch(req.Keys, nil)
 	if err != nil && errors.Is(err, service.ErrClosed) {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	resp := BatchResponse{Outcomes: make([]Outcome, len(outs))}
@@ -542,10 +608,11 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats, err := s.reg.Stats()
 	if err != nil {
-		writeError(w, err) // 503 on a closed registry, not a healthy-looking all-zero table
+		s.writeError(w, err) // 503 on a closed registry, not a healthy-looking all-zero table
 		return
 	}
 	ast := s.reg.AdmissionStats()
+	wst := s.reg.WALStats()
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Shards:        make([]ShardStats, len(stats)),
@@ -558,6 +625,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Completed:     ast.Completed,
 			Failed:        ast.Failed,
 			Rejected:      ast.Rejected,
+		},
+		WAL: WALStats{
+			Enabled:                wst.Enabled,
+			Dir:                    wst.Dir,
+			Policy:                 wst.Policy,
+			Appends:                wst.Appends,
+			Unsynced:               wst.Unsynced,
+			Syncs:                  wst.Syncs,
+			AppendFailures:         wst.AppendFailures,
+			JournalBytes:           wst.JournalBytes,
+			Segments:               wst.Segments,
+			RecordsSinceCheckpoint: wst.RecordsSinceCheckpoint,
+			Checkpoints:            wst.Checkpoints,
+			CheckpointFailures:     wst.CheckpointFailures,
+			LastCheckpointSeconds:  wst.LastCheckpoint.Seconds(),
 		},
 	}
 	for i, st := range stats {
@@ -581,13 +663,17 @@ func shardStatsJSON(s service.ShardStats) ShardStats {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	// Len and AdmissionStats read cached atomics — a liveness probe must
-	// never queue behind shard traffic (pre-PR-5, Len issued a synchronous
-	// request per shard and a single mid-build shard failed the probe).
+	// Len, AdmissionStats and WALStats read cached atomics — a liveness
+	// probe must never queue behind shard traffic or journal fsyncs
+	// (pre-PR-5, Len issued a synchronous request per shard and a single
+	// mid-build shard failed the probe).
+	wst := s.reg.WALStats()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:            "ok",
 		Configs:           s.reg.Len(),
 		Shards:            s.reg.Shards(),
 		PendingAdmissions: s.reg.AdmissionStats().Pending,
+		WALEnabled:        wst.Enabled,
+		WALUnsynced:       wst.Unsynced,
 	})
 }

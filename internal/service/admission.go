@@ -273,6 +273,18 @@ func (r *Registry) admit(arena *election.BuildArena, job admission) {
 	sh.requests <- request{op: opInstall, key: job.key, d: d, buildErr: err, reply: reply}
 	resp := <-reply
 	r.replies.Put(reply)
+	if resp.out.Err == nil && r.wal != nil {
+		// Journal the admission on this builder goroutine — after the
+		// install (so checkpoint rotation can never freeze a record whose
+		// install hasn't happened) and before the acknowledgment (so an
+		// acknowledged admission is as durable as the sync policy
+		// promises). A failed append fails the admission: the entry serves
+		// until the next reboot, but the caller is told its registration
+		// is not durable.
+		if werr := r.walAppendAdmit(job.key, d); werr != nil {
+			resp.out.Err = fmt.Errorf("service: admission installed but not journaled (will not survive a restart): %w", werr)
+		}
+	}
 	r.finish(job, resp)
 }
 

@@ -1,0 +1,403 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"anonradio/internal/config"
+	"anonradio/internal/election"
+	"anonradio/internal/wal"
+)
+
+// This file makes the registry durable: every admission and eviction is
+// journaled to a write-ahead log (internal/wal) the moment it is
+// acknowledged, the journal is replayed at the next boot through the
+// digest-trusted load fast path, and a background checkpoint periodically
+// snapshots the registry and truncates the journal. The layering keeps
+// durability strictly off the election serve path:
+//
+//	admission:  builder builds → shard installs (O(1)) → builder appends
+//	            the compiled artifact + digest to the journal → acknowledge
+//	eviction:   shard evicts → caller appends the evict record → return
+//	election:   untouched — shard workers never see the journal, and the
+//	            steady-state Elect stays zero-alloc
+//	checkpoint: rotate the journal, Snapshot the registry (staged, manifest
+//	            committed last), delete the frozen segments
+//	boot:       restore the checkpoint (tolerating per-entry damage), replay
+//	            the journal (tolerating torn/corrupt records), then open a
+//	            fresh segment for new appends
+//
+// Appending *after* the shard install (write-behind-before-acknowledge)
+// rather than before it is what makes checkpointing race-free: a record in
+// a frozen segment implies its install happened before the rotation, hence
+// before the snapshot gather — so deleting frozen segments after the
+// snapshot commits can never drop an un-snapshotted mutation. A crash
+// between install and append loses only un-acknowledged work, and replay
+// is idempotent (an install is a replace), so the crash windows around
+// checkpointing all converge to the acknowledged state.
+
+// CheckpointDirName is the snapshot subdirectory inside the journal
+// directory.
+const CheckpointDirName = "checkpoint"
+
+// WALOptions configure the registry's admission journal; a non-empty Dir
+// enables it.
+type WALOptions struct {
+	// Dir is the journal directory: segment files plus the checkpoint
+	// subdirectory. Empty disables durability.
+	Dir string
+	// Sync is the append durability policy (see wal.SyncPolicy); the zero
+	// value is wal.SyncAlways.
+	Sync wal.SyncPolicy
+	// BatchInterval is the fsync cadence under wal.SyncBatch; <= 0 selects
+	// the wal package default (5ms).
+	BatchInterval time.Duration
+	// CheckpointEvery triggers a background checkpoint on a timer; 0
+	// disables the timer (the journal then only truncates on record-count
+	// triggers or explicit Checkpoint calls).
+	CheckpointEvery time.Duration
+	// CheckpointRecords triggers a background checkpoint once that many
+	// records accumulated in the journal since the last one; 0 disables
+	// the count trigger.
+	CheckpointRecords int64
+}
+
+// walRecord is the JSON payload of one journal record.
+type walRecord struct {
+	// Op is "admit" or "evict".
+	Op string `json:"op"`
+	// Key is the registry key the operation applied to.
+	Key string `json:"key"`
+	// Config is the configuration text (admit only).
+	Config string `json:"config,omitempty"`
+	// Artifact is the compiled algorithm installed for the key, digest
+	// included, so replay goes through the digest-trusted load fast path
+	// (admit only).
+	Artifact *election.Compiled `json:"artifact,omitempty"`
+}
+
+const (
+	walOpAdmit = "admit"
+	walOpEvict = "evict"
+)
+
+// RecordFault is one journal record recovery could not apply.
+type RecordFault struct {
+	// Index is the record's position in the replay (0-based, counting
+	// applied and skipped records).
+	Index int
+	// Op and Key identify the record when its envelope decoded.
+	Op, Key string
+	// Reason describes the failure.
+	Reason string
+}
+
+// RecoveryReport summarizes what Open brought back.
+type RecoveryReport struct {
+	// CheckpointRestored reports whether a checkpoint snapshot existed and
+	// was restored.
+	CheckpointRestored bool
+	// Checkpoint is the restore report of the checkpoint (zero when none
+	// existed); its Skipped list carries per-entry damage.
+	Checkpoint RestoreReport
+	// Journal is the framing-level replay report: segments visited, intact
+	// records, torn tails truncated, corrupt records resynchronized over.
+	Journal *wal.Report
+	// Admits and Evicts count journal records applied.
+	Admits, Evicts int
+	// Skipped lists journal records that were intact at the framing level
+	// but could not be applied (undecodable payload, artifact rejected by
+	// validation, unknown op).
+	Skipped []RecordFault
+}
+
+// Clean reports whether recovery saw no damage at all.
+func (r *RecoveryReport) Clean() bool {
+	return len(r.Skipped) == 0 && len(r.Checkpoint.Skipped) == 0 &&
+		(r.Journal == nil || r.Journal.Clean())
+}
+
+// WALStats is a snapshot of the journal's counters, served from atomics
+// only — reading it never contends with appends, fsyncs or checkpoints.
+type WALStats struct {
+	// Enabled reports whether the registry journals at all; every other
+	// field is zero when false.
+	Enabled bool
+	// Dir is the journal directory.
+	Dir string
+	// Policy is the fsync policy ("always", "batch", "off").
+	Policy string
+	// Appends counts records journaled since boot.
+	Appends uint64
+	// Unsynced is the WAL lag: records acknowledged but not yet on stable
+	// storage (always 0 under "always"; bounded by the batch interval under
+	// "batch"; unbounded under "off").
+	Unsynced uint64
+	// Syncs counts fsync calls.
+	Syncs uint64
+	// AppendFailures counts admissions that installed but could not be
+	// journaled (reported to the caller as failed admissions).
+	AppendFailures int64
+	// JournalBytes is the journal size across all segments.
+	JournalBytes int64
+	// Segments is the number of segment files, including the active one.
+	Segments int
+	// RecordsSinceCheckpoint counts journal records not yet covered by a
+	// checkpoint (what a crash would replay).
+	RecordsSinceCheckpoint int64
+	// Checkpoints counts completed checkpoints since boot.
+	Checkpoints int64
+	// CheckpointFailures counts background checkpoints that failed.
+	CheckpointFailures int64
+	// LastCheckpoint is the duration of the most recent checkpoint.
+	LastCheckpoint time.Duration
+}
+
+// Open starts a durable registry: it restores the checkpoint snapshot in
+// opts.WAL.Dir (if one exists), replays the admission journal through the
+// digest-trusted load fast path, opens a fresh journal segment for new
+// appends, and starts the background checkpointer. Recovery tolerates
+// damage instead of refusing to boot — torn tails are truncated, corrupt
+// records and damaged checkpoint entries are skipped — and every such
+// decision is in the returned report; callers that require a loss-free
+// boot must check report.Clean().
+//
+// Open fails only when the journal directory itself is unusable or the
+// checkpoint manifest is present but unreadable.
+func Open(opts Options) (*Registry, *RecoveryReport, error) {
+	w := opts.WAL
+	if w.Dir == "" {
+		return nil, nil, fmt.Errorf("service: Open requires Options.WAL.Dir (use New for a non-durable registry)")
+	}
+	if err := os.MkdirAll(w.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("service: creating journal directory: %w", err)
+	}
+	r := newCore(opts)
+	r.walOpts = w
+	report := &RecoveryReport{}
+	ckDir := filepath.Join(w.Dir, CheckpointDirName)
+	if _, err := os.Stat(filepath.Join(ckDir, ManifestFile)); err == nil {
+		rr, err := r.Restore(ckDir)
+		if err != nil {
+			r.Close()
+			return nil, nil, fmt.Errorf("service: restoring checkpoint: %w", err)
+		}
+		report.CheckpointRestored = true
+		report.Checkpoint = *rr
+	}
+	jr, err := wal.Replay(w.Dir, func(payload []byte) error {
+		r.applyRecord(payload, report)
+		return nil
+	})
+	report.Journal = jr
+	if err != nil {
+		r.Close()
+		return nil, nil, fmt.Errorf("service: replaying journal: %w", err)
+	}
+	log, err := wal.Open(w.Dir, wal.Options{Sync: w.Sync, BatchInterval: w.BatchInterval})
+	if err != nil {
+		r.Close()
+		return nil, nil, err
+	}
+	r.wal = log
+	// Everything just replayed is journal-only state; count it toward the
+	// next checkpoint so a record-count trigger fires even across reboots.
+	r.walRecords.Store(int64(jr.Records))
+	r.checkpointKick = make(chan struct{}, 1)
+	r.checkpointStop = make(chan struct{})
+	r.checkpointWG.Add(1)
+	go r.checkpointer(w.CheckpointEvery)
+	if w.CheckpointRecords > 0 && int64(jr.Records) >= w.CheckpointRecords {
+		r.kickCheckpoint()
+	}
+	return r, report, nil
+}
+
+// applyRecord applies one replayed journal record; failures are recorded,
+// never fatal. It runs during Open, before the registry escapes, so the
+// direct shard requests need no public-API locking.
+func (r *Registry) applyRecord(payload []byte, report *RecoveryReport) {
+	idx := report.Admits + report.Evicts + len(report.Skipped)
+	skip := func(op, key, reason string) {
+		report.Skipped = append(report.Skipped, RecordFault{Index: idx, Op: op, Key: key, Reason: reason})
+	}
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		skip("", "", fmt.Sprintf("undecodable record: %v", err))
+		return
+	}
+	switch rec.Op {
+	case walOpAdmit:
+		if rec.Artifact == nil {
+			skip(rec.Op, rec.Key, "admit record without an artifact")
+			return
+		}
+		cfg, err := config.Unmarshal(rec.Config)
+		if err != nil {
+			skip(rec.Op, rec.Key, fmt.Sprintf("parsing configuration: %v", err))
+			return
+		}
+		// The registry wrote this artifact itself, so the digest-trusted
+		// fast path applies; a record whose digest no longer verifies falls
+		// back to the full recompile-and-compare validation inside
+		// LoadTrusted, and only a genuinely inconsistent artifact is
+		// skipped.
+		d, err := election.LoadTrusted(rec.Artifact, cfg)
+		if err != nil {
+			skip(rec.Op, rec.Key, fmt.Sprintf("loading artifact: %v", err))
+			return
+		}
+		if resp := r.do(r.shardFor(rec.Key), request{op: opInstall, key: rec.Key, d: d}); resp.out.Err != nil {
+			skip(rec.Op, rec.Key, fmt.Sprintf("installing: %v", resp.out.Err))
+			return
+		}
+		report.Admits++
+	case walOpEvict:
+		r.do(r.shardFor(rec.Key), request{op: opEvict, key: rec.Key})
+		report.Evicts++
+	default:
+		skip(rec.Op, rec.Key, fmt.Sprintf("unknown op %q", rec.Op))
+	}
+}
+
+// walAppendAdmit journals one acknowledged admission: the key, the
+// (normalized) configuration text, and the compiled artifact with its
+// digest. It runs on the builder goroutine, after the shard install and
+// before the acknowledgment — never on a shard worker.
+func (r *Registry) walAppendAdmit(key string, d *election.Dedicated) error {
+	payload, err := json.Marshal(walRecord{
+		Op:       walOpAdmit,
+		Key:      key,
+		Config:   d.Config.Marshal(),
+		Artifact: d.Compile(),
+	})
+	if err != nil {
+		return fmt.Errorf("service: encoding journal record for %q: %w", key, err)
+	}
+	return r.walAppend(payload)
+}
+
+// walAppendEvict journals one acknowledged eviction; it runs on the
+// evicting caller's goroutine.
+func (r *Registry) walAppendEvict(key string) error {
+	payload, err := json.Marshal(walRecord{Op: walOpEvict, Key: key})
+	if err != nil {
+		return fmt.Errorf("service: encoding journal record for %q: %w", key, err)
+	}
+	return r.walAppend(payload)
+}
+
+// walAppend writes one record and advances the checkpoint record counter.
+func (r *Registry) walAppend(payload []byte) error {
+	if err := r.wal.Append(payload); err != nil {
+		r.walAppendErrs.Add(1)
+		return err
+	}
+	if n := r.walRecords.Add(1); r.walOpts.CheckpointRecords > 0 && n >= r.walOpts.CheckpointRecords {
+		r.kickCheckpoint()
+	}
+	return nil
+}
+
+// kickCheckpoint asks the background checkpointer for a checkpoint without
+// blocking; it is a no-op on a non-durable registry.
+func (r *Registry) kickCheckpoint() {
+	if r.checkpointKick == nil {
+		return
+	}
+	select {
+	case r.checkpointKick <- struct{}{}:
+	default: // one is already queued
+	}
+}
+
+// checkpointer runs checkpoints in the background, on the configured timer
+// and on demand (record-count triggers, post-restore kicks), until Close.
+func (r *Registry) checkpointer(every time.Duration) {
+	defer r.checkpointWG.Done()
+	var tick <-chan time.Time
+	if every > 0 {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-r.checkpointStop:
+			return
+		case <-r.checkpointKick:
+		case <-tick:
+		}
+		if err := r.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
+			r.checkpointErrs.Add(1)
+		}
+	}
+}
+
+// Checkpoint truncates the journal by snapshotting the registry: it
+// rotates the journal (freezing every segment written so far), writes the
+// registry snapshot into the checkpoint directory (staged; the manifest
+// commits last, so a crash mid-checkpoint leaves the previous checkpoint
+// intact), and only then deletes the frozen segments. Every crash window
+// is covered: before the manifest commit the old checkpoint plus the full
+// journal reconstruct the state, after it the new checkpoint plus an
+// idempotent replay of the not-yet-deleted segments do.
+//
+// One checkpoint runs at a time; the background checkpointer and explicit
+// callers serialize on the same lock.
+func (r *Registry) Checkpoint() error {
+	if r.wal == nil {
+		return fmt.Errorf("service: registry has no journal (durability is off)")
+	}
+	r.checkpointMu.Lock()
+	defer r.checkpointMu.Unlock()
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	start := time.Now()
+	frozen, err := r.wal.Rotate()
+	if err != nil {
+		return fmt.Errorf("service: rotating journal: %w", err)
+	}
+	r.walRecords.Store(0)
+	if _, err := r.Snapshot(filepath.Join(r.walOpts.Dir, CheckpointDirName)); err != nil {
+		// The frozen segments stay; the journal is still complete and the
+		// next checkpoint retries the same work.
+		return fmt.Errorf("service: writing checkpoint: %w", err)
+	}
+	if err := r.wal.RemoveSegments(frozen); err != nil {
+		return fmt.Errorf("service: truncating journal: %w", err)
+	}
+	r.checkpoints.Add(1)
+	r.lastCheckpointNanos.Store(int64(time.Since(start)))
+	return nil
+}
+
+// WALStats returns the journal's counters; on a non-durable registry only
+// Enabled=false is set. It reads atomics only, like Len and
+// AdmissionStats, so health probes never block behind journal I/O.
+func (r *Registry) WALStats() WALStats {
+	if r.wal == nil {
+		return WALStats{}
+	}
+	st := r.wal.Stats()
+	return WALStats{
+		Enabled:                true,
+		Dir:                    r.walOpts.Dir,
+		Policy:                 st.Policy.String(),
+		Appends:                st.Appends,
+		Unsynced:               st.Unsynced,
+		Syncs:                  st.Syncs,
+		AppendFailures:         r.walAppendErrs.Load(),
+		JournalBytes:           st.Bytes,
+		Segments:               st.Segments,
+		RecordsSinceCheckpoint: r.walRecords.Load(),
+		Checkpoints:            r.checkpoints.Load(),
+		CheckpointFailures:     r.checkpointErrs.Load(),
+		LastCheckpoint:         time.Duration(r.lastCheckpointNanos.Load()),
+	}
+}

@@ -54,6 +54,7 @@ import (
 	"anonradio/internal/election"
 	"anonradio/internal/fnv"
 	"anonradio/internal/radio"
+	"anonradio/internal/wal"
 )
 
 // ErrClosed is returned by operations on a closed registry.
@@ -100,6 +101,14 @@ type Options struct {
 	// Leave nil in production; a hook that never returns wedges its builder
 	// and deadlocks Close.
 	BuildHook func(key string)
+	// WAL enables the durable admission journal when WAL.Dir is non-empty:
+	// every acknowledged admission and eviction is appended to a
+	// write-ahead log and replayed at the next boot (see Open and
+	// durability.go). Durability requires the admission pipeline, so a
+	// non-empty WAL.Dir overrides BuildOnShard. Prefer Open over New for
+	// durable registries — Open surfaces journal errors and the recovery
+	// report; New panics if the journal cannot be opened.
+	WAL WALOptions
 }
 
 // Outcome is the value-typed result of one served election. It aliases no
@@ -253,12 +262,42 @@ type Registry struct {
 	// configCount caches the registered-configuration total so health
 	// probes (Len) never enter a shard queue. Only shard workers update it.
 	configCount atomic.Int64
+
+	// Durability state (durability.go); wal is nil on a non-durable
+	// registry and immutable once Open returns.
+	wal                 *wal.Log
+	walOpts             WALOptions
+	walRecords          atomic.Int64 // journal records since the last checkpoint
+	walAppendErrs       atomic.Int64
+	checkpoints         atomic.Int64
+	checkpointErrs      atomic.Int64
+	lastCheckpointNanos atomic.Int64
+	checkpointMu        sync.Mutex // one checkpoint at a time
+	checkpointKick      chan struct{}
+	checkpointStop      chan struct{}
+	checkpointOnce      sync.Once
+	checkpointWG        sync.WaitGroup
 }
 
 // New starts a registry with opts.Shards worker-owned shards and
 // opts.Builders admission builders. The registry holds goroutines; release
-// it with Close.
+// it with Close. When opts.WAL.Dir is set, New delegates to Open and
+// panics if the journal cannot be opened — durable deployments should call
+// Open directly to handle the error and read the recovery report.
 func New(opts Options) *Registry {
+	if opts.WAL.Dir != "" {
+		r, _, err := Open(opts)
+		if err != nil {
+			panic(fmt.Sprintf("service: opening durable registry: %v", err))
+		}
+		return r
+	}
+	return newCore(opts)
+}
+
+// newCore starts the registry's shard workers and builder pool; durability
+// (if any) is layered on by Open.
+func newCore(opts Options) *Registry {
 	shards := opts.Shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -278,7 +317,10 @@ func New(opts Options) *Registry {
 	r := &Registry{
 		shards:       make([]*shard, shards),
 		trustDigests: opts.TrustCompiledDigests,
-		buildOnShard: opts.BuildOnShard,
+		// The journal hooks into the builder pipeline (appends happen on
+		// builder goroutines, after the install and before the
+		// acknowledgment), so durability forces the pipeline on.
+		buildOnShard: opts.BuildOnShard && opts.WAL.Dir == "",
 		buildHook:    opts.BuildHook,
 		admissions:   make(chan admission, queue),
 		builderCount: builders,
@@ -391,6 +433,14 @@ func (r *Registry) Evict(key string) bool {
 			delete(r.admitted, key)
 		}
 		r.admitMu.Unlock()
+		if r.wal != nil {
+			// Journal the eviction on the caller's goroutine — after the
+			// shard applied it (so a record in a frozen checkpoint segment
+			// always describes an applied mutation) and before the caller
+			// learns of it. Append failures only surface in WALStats: the
+			// eviction already happened and Evict's contract is a boolean.
+			_ = r.walAppendEvict(key)
+		}
 	}
 	return resp.evicted
 }
@@ -488,11 +538,20 @@ func (r *Registry) Len() int {
 	return int(r.configCount.Load())
 }
 
-// Close drains and stops the builder pool and the shard workers. It is safe
-// to call concurrently with other registry methods: operations that began
-// before Close complete normally, later ones return ErrClosed (or report
-// false/zero for Evict and Len). Calling it twice is safe.
+// Close drains and stops the builder pool and the shard workers (and, on a
+// durable registry, the checkpointer and the journal — every acknowledged
+// record is flushed and fsynced). It is safe to call concurrently with
+// other registry methods: operations that began before Close complete
+// normally, later ones return ErrClosed (or report false/zero for Evict
+// and Len). Calling it twice is safe.
 func (r *Registry) Close() {
+	// Stop the checkpointer before taking the write lock: a checkpoint in
+	// flight holds the read lock (through Snapshot) and would deadlock a
+	// writer waiting for it while it waits to be stopped.
+	if r.checkpointStop != nil {
+		r.checkpointOnce.Do(func() { close(r.checkpointStop) })
+		r.checkpointWG.Wait()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed.Swap(true) {
@@ -508,6 +567,12 @@ func (r *Registry) Close() {
 		close(sh.requests)
 	}
 	r.workers.Wait()
+	if r.wal != nil {
+		// The builders are drained, so every acknowledged record is
+		// already appended; this flushes and fsyncs the tail (SyncOff's
+		// process buffer included).
+		_ = r.wal.Close()
+	}
 }
 
 // worker owns one shard: it is the only goroutine that ever reads or writes

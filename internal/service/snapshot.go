@@ -84,6 +84,15 @@ type Manifest struct {
 // ManifestFile is the manifest's file name inside a snapshot directory.
 const ManifestFile = "manifest.json"
 
+// RestoreSkip records one manifest entry a restore could not bring back.
+type RestoreSkip struct {
+	// Key is the registry key of the skipped entry.
+	Key string
+	// Reason describes why the entry was skipped (missing file, corrupt
+	// artifact, rejected validation, ...).
+	Reason string
+}
+
 // RestoreReport summarizes one Restore.
 type RestoreReport struct {
 	// Entries is the number of configurations re-admitted.
@@ -94,6 +103,12 @@ type RestoreReport struct {
 	// Revalidated counts entries that fell back to the full
 	// recompile-and-compare validation (missing or mismatched digest).
 	Revalidated int
+	// Skipped lists manifest entries the restore could not bring back
+	// (missing or corrupt files, artifacts rejected by validation), in
+	// manifest order. A partially-damaged snapshot boots the surviving
+	// entries instead of refusing to boot at all; callers that require a
+	// complete restore must check this list.
+	Skipped []RestoreSkip
 }
 
 // SnapshotEntries walks every shard and gathers the admitted configurations
@@ -227,17 +242,24 @@ func ReadManifest(dir string) (*Manifest, error) {
 // parsing and validating its artifacts off the serve path, then installing
 // onto the owning shard as an O(1) request), so a cold boot uses the whole
 // machine without queueing through the bounded admission pipeline — a
-// restore is operator-initiated and should never see ErrAdmissionBusy. On
-// failure Restore reports the failing entry of the lowest manifest index
-// and stops issuing new work; entries already admitted stay admitted.
+// restore is operator-initiated and should never see ErrAdmissionBusy.
+//
+// Restore degrades gracefully on a partially-damaged snapshot: an entry
+// whose files are missing or corrupt, or whose artifact fails validation,
+// is skipped and recorded in the report's Skipped list while every
+// undamaged entry still boots. Restore returns an error only when the
+// snapshot as a whole is unusable (unreadable or invalid manifest) or the
+// registry is closed; callers that require a complete restore must check
+// report.Skipped.
 func (r *Registry) Restore(dir string) (*RestoreReport, error) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	if r.closed.Load() {
+		r.mu.RUnlock()
 		return nil, ErrClosed
 	}
 	m, err := ReadManifest(dir)
 	if err != nil {
+		r.mu.RUnlock()
 		return nil, err
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -249,11 +271,9 @@ func (r *Registry) Restore(dir string) (*RestoreReport, error) {
 	}
 	var (
 		next    atomic.Int64
-		failed  atomic.Bool
 		mu      sync.Mutex
 		report  RestoreReport
-		errIdx  int
-		firstEr error
+		skipped = make(map[int]RestoreSkip)
 		wg      sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
@@ -262,16 +282,13 @@ func (r *Registry) Restore(dir string) (*RestoreReport, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(m.Entries) || failed.Load() {
+				if i >= len(m.Entries) {
 					return
 				}
 				trusted, err := r.restoreEntry(dir, m.Entries[i])
 				mu.Lock()
 				if err != nil {
-					if firstEr == nil || i < errIdx {
-						firstEr, errIdx = err, i
-					}
-					failed.Store(true)
+					skipped[i] = RestoreSkip{Key: m.Entries[i].Key, Reason: err.Error()}
 				} else {
 					report.Entries++
 					if trusted {
@@ -285,9 +302,17 @@ func (r *Registry) Restore(dir string) (*RestoreReport, error) {
 		}()
 	}
 	wg.Wait()
-	if firstEr != nil {
-		return &report, firstEr
+	for i := range m.Entries {
+		if s, ok := skipped[i]; ok {
+			report.Skipped = append(report.Skipped, s)
+		}
 	}
+	r.mu.RUnlock()
+	// New state entered the registry outside the admission pipeline; make
+	// it durable if a journal is attached (no-op otherwise). The kick is
+	// asynchronous, so a restore during recovery (before the journal opens)
+	// stays inert.
+	r.kickCheckpoint()
 	return &report, nil
 }
 

@@ -194,7 +194,9 @@ func TestRestoreDigestMismatchFallsBack(t *testing.T) {
 
 // TestRestoreRejectsTamperedArtifact rewrites an artifact's leader history
 // (recomputing nothing): the digest mismatch deselects the fast path and
-// the full validation layer must reject the inconsistent artifact.
+// the full validation layer must reject the inconsistent artifact — which,
+// under the graceful-restore contract, means the entry is skipped and
+// reported while every undamaged entry still boots.
 func TestRestoreRejectsTamperedArtifact(t *testing.T) {
 	dir := t.TempDir()
 	src := newTestRegistry(t, 1)
@@ -234,10 +236,109 @@ func TestRestoreRejectsTamperedArtifact(t *testing.T) {
 
 	dst := New(Options{Shards: 1})
 	t.Cleanup(dst.Close)
-	if _, err := dst.Restore(dir); err == nil {
-		t.Fatal("restore accepted a tampered artifact")
-	} else if !strings.Contains(err.Error(), target.Key) {
-		t.Fatalf("restore error does not name the failing key: %v", err)
+	report, err := dst.Restore(dir)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if len(report.Skipped) != 1 || report.Skipped[0].Key != target.Key {
+		t.Fatalf("report.Skipped = %+v, want exactly the tampered key %q", report.Skipped, target.Key)
+	}
+	if report.Entries != len(manifest.Entries)-1 {
+		t.Fatalf("restored %d entries, want %d (all but the tampered one)", report.Entries, len(manifest.Entries)-1)
+	}
+	if out, _ := dst.Elect(target.Key); out.Err == nil {
+		t.Fatalf("tampered key %q is servable after restore", target.Key)
+	}
+}
+
+// TestRestorePartialDamage injects every damage mode the graceful restore
+// must survive — a deleted artifact file, a corrupt artifact JSON, a
+// deleted configuration file, and corrupt configuration text — one per
+// entry of a four-key snapshot, plus leaves other entries intact. The
+// restore must boot every undamaged entry, skip each damaged one with a
+// report naming its key, and return no error.
+func TestRestorePartialDamage(t *testing.T) {
+	dir := t.TempDir()
+	src := New(Options{Shards: 2})
+	t.Cleanup(src.Close)
+	keys := []string{"intact-a", "dmg-artifact-gone", "dmg-artifact-corrupt", "dmg-config-gone", "dmg-config-corrupt", "intact-b"}
+	for i, key := range keys {
+		if err := src.Register(key, config.StaggeredClique(5+i)); err != nil {
+			t.Fatalf("register %s: %v", key, err)
+		}
+	}
+	manifest, err := src.Snapshot(dir)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	files := map[string]ManifestEntry{}
+	for _, e := range manifest.Entries {
+		files[e.Key] = e
+	}
+	damage := map[string]func() error{
+		"dmg-artifact-gone": func() error {
+			return os.Remove(filepath.Join(dir, files["dmg-artifact-gone"].ArtifactFile))
+		},
+		"dmg-artifact-corrupt": func() error {
+			return os.WriteFile(filepath.Join(dir, files["dmg-artifact-corrupt"].ArtifactFile), []byte("{not json"), 0o644)
+		},
+		"dmg-config-gone": func() error {
+			return os.Remove(filepath.Join(dir, files["dmg-config-gone"].ConfigFile))
+		},
+		"dmg-config-corrupt": func() error {
+			return os.WriteFile(filepath.Join(dir, files["dmg-config-corrupt"].ConfigFile), []byte("nodes banana"), 0o644)
+		},
+	}
+	for key, apply := range damage {
+		if err := apply(); err != nil {
+			t.Fatalf("injecting damage for %s: %v", key, err)
+		}
+	}
+
+	dst := New(Options{Shards: 3})
+	t.Cleanup(dst.Close)
+	report, err := dst.Restore(dir)
+	if err != nil {
+		t.Fatalf("restore of a partially-damaged snapshot failed outright: %v", err)
+	}
+	if report.Entries != 2 {
+		t.Fatalf("restored %d entries, want 2 intact ones (report %+v)", report.Entries, report)
+	}
+	if len(report.Skipped) != len(damage) {
+		t.Fatalf("skipped %d entries, want %d: %+v", len(report.Skipped), len(damage), report.Skipped)
+	}
+	skippedKeys := map[string]string{}
+	for _, s := range report.Skipped {
+		skippedKeys[s.Key] = s.Reason
+	}
+	for key := range damage {
+		reason, ok := skippedKeys[key]
+		if !ok {
+			t.Fatalf("damaged key %q missing from report.Skipped: %+v", key, report.Skipped)
+		}
+		if reason == "" || !strings.Contains(reason, key) {
+			t.Fatalf("skip reason for %q does not name the key: %q", key, reason)
+		}
+	}
+	// The intact entries serve, bit-identical to the source.
+	for _, key := range []string{"intact-a", "intact-b"} {
+		restored, err := dst.Elect(key)
+		if err != nil {
+			t.Fatalf("elect %s after partial restore: %v", key, err)
+		}
+		orig, err := src.Elect(key)
+		if err != nil {
+			t.Fatalf("source elect %s: %v", key, err)
+		}
+		if restored.Leader != orig.Leader || restored.Rounds != orig.Rounds {
+			t.Fatalf("%s diverged after partial restore: %+v vs %+v", key, restored, orig)
+		}
+	}
+	// The damaged entries are absent, not half-admitted.
+	for key := range damage {
+		if out, _ := dst.Elect(key); out.Err == nil {
+			t.Fatalf("damaged key %q is servable", key)
+		}
 	}
 }
 
