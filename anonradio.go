@@ -41,6 +41,7 @@ import (
 	"anonradio/internal/server"
 	"anonradio/internal/service"
 	"anonradio/internal/wal"
+	"anonradio/internal/wire"
 )
 
 // Config is a configuration: a connected undirected graph whose nodes carry
@@ -614,7 +615,7 @@ func NewParallelSimulator(cfg *Config, workers int) (*Simulator, error) {
 	return radio.NewParallelSimulator(cfg, workers)
 }
 
-// RunExperiments regenerates every experiment table (E1-E15, A1) and writes
+// RunExperiments regenerates every experiment table (E1-E16, A1) and writes
 // them to w. With quick=true a reduced parameter sweep is used. The election
 // experiments run on the sequential engine; use RunExperimentsOn to choose.
 func RunExperiments(w io.Writer, quick bool, seed int64) error {
@@ -632,7 +633,7 @@ func RunExperimentsOn(w io.Writer, quick bool, seed int64, kind EngineKind) erro
 	return harness.RunAll(harness.Options{Quick: quick, Seed: seed, Engine: eng}, w)
 }
 
-// RunExperiment runs a single experiment by ID ("E1".."E14", "A1") and returns its
+// RunExperiment runs a single experiment by ID ("E1".."E16", "A1") and returns its
 // table.
 func RunExperiment(id string, quick bool, seed int64) (*ExperimentTable, error) {
 	return RunExperimentOn(id, quick, seed, SequentialEngine)
@@ -650,6 +651,65 @@ func RunExperimentOn(id string, quick bool, seed int64, kind EngineKind) (*Exper
 	}
 	return exp.Run(harness.Options{Quick: quick, Seed: seed, Engine: eng})
 }
+
+// ServiceEncoding selects an on-disk encoding for what the durable service
+// writes: snapshot artifacts (ServiceOptions.SnapshotEncoding) and journal
+// records (ServiceWALOptions.Encoding). The binary wire encoding is the
+// default; restore and replay auto-detect either encoding regardless of this
+// setting, so mixed-era directories always boot.
+type ServiceEncoding = service.Encoding
+
+// The service encodings.
+const (
+	ServiceEncodingBinary = service.EncodingBinary
+	ServiceEncodingJSON   = service.EncodingJSON
+)
+
+// ParseServiceEncoding parses "binary" or "json".
+func ParseServiceEncoding(s string) (ServiceEncoding, error) { return service.ParseEncoding(s) }
+
+// WireContentType is the Content-Type that selects the binary wire encoding
+// on the HTTP server's register/elect/batch endpoints: a request carrying it
+// is decoded as one length-prefixed CRC-checked frame and answered in kind,
+// on the same routes as JSON. See docs/SERVER.md for the frame layout.
+const WireContentType = server.ContentTypeBinary
+
+// WireFrameType discriminates binary wire frames.
+type WireFrameType = wire.FrameType
+
+// The wire frame types a binary HTTP client exchanges.
+const (
+	WireFrameElectRequest     = wire.FrameElectRequest
+	WireFrameOutcome          = wire.FrameOutcome
+	WireFrameBatchRequest     = wire.FrameBatchRequest
+	WireFrameBatchResponse    = wire.FrameBatchResponse
+	WireFrameRegisterRequest  = wire.FrameRegisterRequest
+	WireFrameRegisterResponse = wire.FrameRegisterResponse
+	WireFrameError            = wire.FrameError
+)
+
+// The binary wire messages (each with AppendTo/DecodeFrom; see
+// internal/wire): elect request, election outcome, batch request/response,
+// register request/response, and the error frame body.
+type (
+	WireElectRequest     = wire.ElectRequest
+	WireOutcome          = wire.Outcome
+	WireBatchRequest     = wire.BatchRequest
+	WireBatchResponse    = wire.BatchResponse
+	WireRegisterRequest  = wire.RegisterRequest
+	WireRegisterResponse = wire.RegisterResponse
+	WireErrorMessage     = wire.ErrorMessage
+)
+
+// The frame constructors and the frame decoder of the binary wire encoding,
+// re-exported for clients that speak it over HTTP (examples/http-client
+// -binary is the worked example).
+var (
+	AppendWireElectRequestFrame    = wire.AppendElectRequestFrame
+	AppendWireBatchRequestFrame    = wire.AppendBatchRequestFrame
+	AppendWireRegisterRequestFrame = wire.AppendRegisterRequestFrame
+	DecodeWireFrame                = wire.DecodeFrame
+)
 
 // ExperimentIDs lists the available experiment identifiers in order.
 func ExperimentIDs() []string {

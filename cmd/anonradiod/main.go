@@ -24,6 +24,7 @@
 //	           [-restore-on-boot] [-snapshot-on-shutdown]
 //	           [-shutdown-timeout 10s] [-wal-dir DIR]
 //	           [-wal-sync always|batch|off] [-checkpoint-every 1m]
+//	           [-snapshot-encoding binary|json] [-wal-encoding binary|json]
 //
 // A minimal session against a running daemon:
 //
@@ -73,6 +74,8 @@ func run() int {
 		walDir          = flag.String("wal-dir", "", "admission journal directory; enables durability (replay on boot, journal on admit/evict, background checkpoints)")
 		walSync         = flag.String("wal-sync", "always", "journal fsync policy: always (fsync before acknowledging), batch (group fsync on a short timer), off (OS decides)")
 		checkpointEvery = flag.Duration("checkpoint-every", time.Minute, "background checkpoint interval: snapshot the registry and truncate the journal (0 disables the timer)")
+		snapshotEnc     = flag.String("snapshot-encoding", "binary", "artifact encoding of snapshots and checkpoints this daemon writes: binary (compact wire frames) or json (elect -compiled compatible); restore auto-detects either")
+		walEnc          = flag.String("wal-encoding", "binary", "journal record encoding this daemon writes: binary or json; replay auto-detects either, so mixed-era journals boot unchanged")
 	)
 	flag.Parse()
 	log.SetPrefix("anonradiod: ")
@@ -83,12 +86,23 @@ func run() int {
 		return 2
 	}
 
+	snapEncoding, err := service.ParseEncoding(*snapshotEnc)
+	if err != nil {
+		log.Printf("-snapshot-encoding: %v", err)
+		return 2
+	}
+	walEncoding, err := service.ParseEncoding(*walEnc)
+	if err != nil {
+		log.Printf("-wal-encoding: %v", err)
+		return 2
+	}
 	opts := service.Options{
 		Shards:               *shards,
 		QueueDepth:           *queueDepth,
 		Builders:             *buildersN,
 		AdmissionQueue:       *admissionQueue,
 		TrustCompiledDigests: *trust,
+		SnapshotEncoding:     snapEncoding,
 	}
 	var reg *service.Registry
 	if *walDir != "" {
@@ -98,17 +112,17 @@ func run() int {
 			return 2
 		}
 		start := time.Now()
-		opts.WAL = service.WALOptions{Dir: *walDir, Sync: policy, CheckpointEvery: *checkpointEvery}
+		opts.WAL = service.WALOptions{Dir: *walDir, Sync: policy, CheckpointEvery: *checkpointEvery, Encoding: walEncoding}
 		var report *service.RecoveryReport
 		reg, report, err = service.Open(opts)
 		if err != nil {
 			log.Printf("opening durable registry at %s: %v", *walDir, err)
 			return 1
 		}
-		log.Printf("recovered %s in %s: checkpoint %d entries, journal %d admits / %d evicts across %d segments (sync=%s, checkpoint every %s)",
+		log.Printf("recovered %s in %s: checkpoint %d entries, journal %d admits / %d evicts across %d segments (sync=%s, checkpoint every %s, wal-encoding=%s, snapshot-encoding=%s)",
 			*walDir, time.Since(start).Round(time.Millisecond),
 			report.Checkpoint.Entries, report.Admits, report.Evicts,
-			report.Journal.Segments, policy, *checkpointEvery)
+			report.Journal.Segments, policy, *checkpointEvery, walEncoding, snapEncoding)
 		if !report.Clean() {
 			for _, f := range report.Journal.Faults {
 				log.Printf("recovery: journal damage in %s at offset %d: %s", f.Segment, f.Offset, f.Reason)

@@ -12,13 +12,20 @@
 // Run with:
 //
 //	go run ./examples/http-client
+//
+// With -binary the registrations, elections and batches travel as the binary
+// wire encoding (application/x-anonradio-bin, length-prefixed CRC-checked
+// frames) over the same routes, and the final cross-check elects over JSON
+// against a binary-restored server — the two encodings answer bit-identically.
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -27,6 +34,48 @@ import (
 
 	"anonradio"
 )
+
+var binaryFlag = flag.Bool("binary", false, "speak the binary wire encoding (frames) instead of JSON on register/elect/batch")
+
+// wireCall POSTs one binary frame and decodes the single response frame,
+// translating error frames into Go errors.
+func wireCall(url string, frame []byte, want anonradio.WireFrameType) ([]byte, error) {
+	resp, err := http.Post(url, anonradio.WireContentType, bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	typ, payload, _, err := anonradio.DecodeWireFrame(body)
+	if err != nil {
+		return nil, fmt.Errorf("%s: decoding response frame: %v", url, err)
+	}
+	if typ == anonradio.WireFrameError {
+		var e anonradio.WireErrorMessage
+		if err := e.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%s: %s (%s)", url, resp.Status, e.Error)
+	}
+	if typ != want {
+		return nil, fmt.Errorf("%s answered a %v frame, want %v", url, typ, want)
+	}
+	return payload, nil
+}
+
+// electWire serves one election over the binary encoding.
+func electWire(base, key string) (anonradio.WireOutcome, error) {
+	frame := anonradio.AppendWireElectRequestFrame(nil, &anonradio.WireElectRequest{Key: key})
+	var out anonradio.WireOutcome
+	payload, err := wireCall(base+"/v1/elect", frame, anonradio.WireFrameOutcome)
+	if err != nil {
+		return out, err
+	}
+	return out, out.DecodeFrom(payload)
+}
 
 // call POSTs a JSON body (or GETs/DELETEs with body nil) and decodes the
 // JSON answer into out.
@@ -78,28 +127,52 @@ func boot(svc *anonradio.Service) (string, func(), error) {
 }
 
 func main() {
+	flag.Parse()
 	svc := anonradio.NewService(anonradio.ServiceOptions{Shards: 2})
 	defer svc.Close()
 	base, stop, err := boot(svc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("server:", base)
+	encoding := "json"
+	if *binaryFlag {
+		encoding = "binary (" + anonradio.WireContentType + ")"
+	}
+	fmt.Printf("server: %s (encoding: %s)\n", base, encoding)
 
 	// Register a fleet over HTTP: the configuration travels in its text
-	// encoding (the same format cmd/genconfig writes and cmd/elect reads).
+	// encoding (the same format cmd/genconfig writes and cmd/elect reads) —
+	// inside a JSON object or a binary register frame, per -binary.
 	keys := []string{}
 	for n := 6; n <= 12; n += 3 {
 		key := fmt.Sprintf("clique-%d", n)
 		cfg := anonradio.StaggeredClique(n)
-		var reg struct {
-			Key    string `json:"key"`
-			Source string `json:"source"`
+		var regKey, regSource string
+		if *binaryFlag {
+			frame, err := anonradio.AppendWireRegisterRequestFrame(nil, &anonradio.WireRegisterRequest{Key: key, Config: cfg.Marshal()})
+			if err != nil {
+				log.Fatal(err)
+			}
+			payload, err := wireCall(base+"/v1/register", frame, anonradio.WireFrameRegisterResponse)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var rr anonradio.WireRegisterResponse
+			if err := rr.DecodeFrom(payload); err != nil {
+				log.Fatal(err)
+			}
+			regKey, regSource = rr.Key, rr.Source
+		} else {
+			var reg struct {
+				Key    string `json:"key"`
+				Source string `json:"source"`
+			}
+			if err := call("POST", base+"/v1/register", map[string]string{"key": key, "config": cfg.Marshal()}, &reg); err != nil {
+				log.Fatal(err)
+			}
+			regKey, regSource = reg.Key, reg.Source
 		}
-		if err := call("POST", base+"/v1/register", map[string]string{"key": key, "config": cfg.Marshal()}, &reg); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("registered %-10s (source=%s)\n", reg.Key, reg.Source)
+		fmt.Printf("registered %-10s (source=%s)\n", regKey, regSource)
 		keys = append(keys, key)
 	}
 
@@ -110,7 +183,13 @@ func main() {
 		Leader  int    `json:"leader"`
 		Rounds  int    `json:"rounds"`
 	}
-	if err := call("POST", base+"/v1/elect", map[string]string{"key": keys[0]}, &out); err != nil {
+	if *binaryFlag {
+		o, err := electWire(base, keys[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Key, out.Elected, out.Leader, out.Rounds = o.Key, o.Elected, o.Leader, o.Rounds
+	} else if err := call("POST", base+"/v1/elect", map[string]string{"key": keys[0]}, &out); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("elect %s: leader=%d rounds=%d\n", out.Key, out.Leader, out.Rounds)
@@ -124,7 +203,25 @@ func main() {
 		} `json:"outcomes"`
 		Failures int `json:"failures"`
 	}
-	if err := call("POST", base+"/v1/elect/batch", map[string][]string{"keys": keys}, &batch); err != nil {
+	if *binaryFlag {
+		frame := anonradio.AppendWireBatchRequestFrame(nil, &anonradio.WireBatchRequest{Keys: keys})
+		payload, err := wireCall(base+"/v1/elect/batch", frame, anonradio.WireFrameBatchResponse)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var br anonradio.WireBatchResponse
+		if err := br.DecodeFrom(payload); err != nil {
+			log.Fatal(err)
+		}
+		batch.Failures = br.Failures
+		for _, o := range br.Outcomes {
+			batch.Outcomes = append(batch.Outcomes, struct {
+				Key    string `json:"key"`
+				Leader int    `json:"leader"`
+				Rounds int    `json:"rounds"`
+			}{o.Key, o.Leader, o.Rounds})
+		}
+	} else if err := call("POST", base+"/v1/elect/batch", map[string][]string{"keys": keys}, &batch); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("batch of %d: %d failures\n", len(batch.Outcomes), batch.Failures)
@@ -214,15 +311,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The cross-check deliberately uses the *other* encoding than the rest of
+	// the run: the two wire formats carry the same outcome bit for bit.
 	var out2 struct {
 		Leader int `json:"leader"`
 		Rounds int `json:"rounds"`
 	}
-	if err := call("POST", base2+"/v1/elect", map[string]string{"key": keys[0]}, &out2); err != nil {
-		log.Fatal(err)
+	if *binaryFlag {
+		if err := call("POST", base2+"/v1/elect", map[string]string{"key": keys[0]}, &out2); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		o, err := electWire(base2, keys[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		out2.Leader, out2.Rounds = o.Leader, o.Rounds
 	}
 	agree := out2.Leader == out.Leader && out2.Rounds == out.Rounds
-	fmt.Printf("restored server elects %s: leader=%d rounds=%d (agrees with original: %v)\n",
+	fmt.Printf("restored server elects %s (cross-encoding): leader=%d rounds=%d (agrees with original: %v)\n",
 		keys[0], out2.Leader, out2.Rounds, agree)
 	if !agree {
 		log.Fatal("restored server diverged from the original")

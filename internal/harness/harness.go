@@ -55,7 +55,7 @@ func (o Options) trials(def, quick int) int {
 
 // Experiment is one runnable experiment.
 type Experiment struct {
-	// ID is the experiment identifier ("E1" .. "E15", "A1").
+	// ID is the experiment identifier ("E1" .. "E16", "A1").
 	ID string
 	// Name is a short description.
 	Name string
@@ -81,6 +81,7 @@ func All() []Experiment {
 		{ID: "E13", Name: "HTTP serving overhead (served vs in-process ElectBatch)", Run: E13ServedThroughput},
 		{ID: "E14", Name: "Admission isolation (election latency during same-shard builds)", Run: E14AdmissionIsolation},
 		{ID: "E15", Name: "Durability cost (admission throughput and recovery per fsync policy)", Run: E15DurabilityCost},
+		{ID: "E16", Name: "Wire encoding cost (binary frames vs JSON serving and snapshots)", Run: E16WireEncoding},
 		{ID: "A1", Name: "Ablation: Refine implementation (representative scan vs hashing)", Run: A1RefineAblation},
 	}
 }

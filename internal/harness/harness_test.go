@@ -30,8 +30,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(all))
+	if len(all) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -234,7 +234,7 @@ func TestRunAllQuick(t *testing.T) {
 		t.Fatalf("%v", err)
 	}
 	out := sb.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "A1"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "A1"} {
 		if !strings.Contains(out, "## "+id) {
 			t.Fatalf("RunAll output missing %s", id)
 		}
@@ -248,6 +248,21 @@ func TestE13ServedThroughput(t *testing.T) {
 	}
 	if len(table.Rows) != 3 {
 		t.Fatalf("expected 3 rows (in-process + 2 batch sizes), got %d", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("served outcomes disagreed with in-process: %v", row)
+		}
+	}
+}
+
+func TestE16WireEncoding(t *testing.T) {
+	table, err := E16WireEncoding(quickOpts())
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(table.Rows) != 5 {
+		t.Fatalf("expected 5 rows (in-process + 2 encodings x 2 batch sizes), got %d", len(table.Rows))
 	}
 	for _, row := range table.Rows {
 		if row[len(row)-1] != "true" {

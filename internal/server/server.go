@@ -29,6 +29,13 @@
 // admission queue is full, registrations answer 429 with a Retry-After
 // header — the server's backpressure signal.
 //
+// The register, elect and batch endpoints also speak a binary wire
+// encoding: a request with Content-Type "application/x-anonradio-bin"
+// carries one internal/wire frame and is answered in kind, through pooled
+// codec state that keeps the hot elect path nearly allocation-free (see
+// binary.go and docs/SERVER.md). Outcomes are bit-identical across the two
+// encodings — the encoding is negotiated per request, never per deployment.
+//
 // The server also wires the snapshot layer to deployment: LoadSnapshot
 // re-admits a snapshot directory through the digest-trusted fast path
 // before the listener opens, and Shutdown drains in-flight requests so a
@@ -467,6 +474,10 @@ func writeDecodeError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if binaryRequest(r) {
+		s.handleRegisterBinary(w, r)
+		return
+	}
 	var req RegisterRequest
 	if !decode(w, r, &req) {
 		return
@@ -546,6 +557,10 @@ func outcomeJSON(o service.Outcome) Outcome {
 }
 
 func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
+	if binaryRequest(r) {
+		s.handleElectBinary(w, r)
+		return
+	}
 	var req ElectRequest
 	if !decode(w, r, &req) {
 		return
@@ -564,6 +579,10 @@ func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleElectBatch(w http.ResponseWriter, r *http.Request) {
+	if binaryRequest(r) {
+		s.handleElectBatchBinary(w, r)
+		return
+	}
 	var req BatchRequest
 	if !decode(w, r, &req) {
 		return

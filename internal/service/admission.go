@@ -138,11 +138,10 @@ func (r *Registry) RegisterCompiledAsync(key string, c *election.Compiled, cfg *
 // admitAsync enqueues an admission without a reply channel. Async
 // admissions always use the builder pool, even under Options.BuildOnShard.
 func (r *Registry) admitAsync(key string, cfg *config.Config, c *election.Compiled) error {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.closed.Load() {
+	if !r.acquire() {
 		return ErrClosed
 	}
+	defer r.release()
 	return r.enqueue(admission{key: key, cfg: cfg, compiled: c})
 }
 
@@ -178,8 +177,9 @@ func (r *Registry) AdmissionStats() AdmissionStats {
 }
 
 // enqueue offers the admission to the bounded queue without blocking,
-// creating its pollable record on acceptance. Callers hold r.mu (read
-// side), so the queue cannot be closed underneath the send.
+// creating its pollable record on acceptance. Callers hold a lifecycle
+// acquire slot, so the queue cannot be closed underneath the send (Close
+// waits for the slot count to drain first).
 func (r *Registry) enqueue(job admission) error {
 	job.rec = &admissionRecord{state: AdmissionQueued}
 	r.admitMu.Lock()
@@ -243,10 +243,11 @@ func (r *Registry) builder() {
 // validate) off the serve path, then install on the owning shard as an O(1)
 // request, then publish the terminal state and wake a synchronous waiter.
 func (r *Registry) admit(arena *election.BuildArena, job admission) {
-	if r.closed.Load() {
-		// Draining after Close: every queued job is asynchronous (a
-		// synchronous waiter would have blocked Close via the read lock),
-		// so fail it fast instead of building into torn-down shards.
+	if job.reply == nil && r.isClosed() {
+		// Close has begun: fail queued asynchronous jobs fast instead of
+		// building into a tearing-down registry. Synchronous waiters hold
+		// a lifecycle slot — Close's drain waits for them — so their
+		// builds still run against live shards and complete normally.
 		r.finish(job, response{out: Outcome{Key: job.key, Leader: -1, Err: ErrClosed}})
 		return
 	}

@@ -11,6 +11,7 @@ import (
 	"anonradio/internal/config"
 	"anonradio/internal/election"
 	"anonradio/internal/wal"
+	"anonradio/internal/wire"
 )
 
 // This file makes the registry durable: every admission and eviction is
@@ -64,6 +65,11 @@ type WALOptions struct {
 	// records accumulated in the journal since the last one; 0 disables
 	// the count trigger.
 	CheckpointRecords int64
+	// Encoding selects the journal record encoding that gets *written*:
+	// EncodingBinary (the default) appends wire frames, EncodingJSON the
+	// pre-binary JSON records. Replay auto-detects per record, so a journal
+	// whose records span both eras replays unchanged.
+	Encoding Encoding
 }
 
 // walRecord is the JSON payload of one journal record.
@@ -219,11 +225,44 @@ func Open(opts Options) (*Registry, *RecoveryReport, error) {
 
 // applyRecord applies one replayed journal record; failures are recorded,
 // never fatal. It runs during Open, before the registry escapes, so the
-// direct shard requests need no public-API locking.
+// direct shard requests need no public-API locking. The record's encoding
+// is sniffed per payload (wire frames start with the wire magic, JSON
+// records with '{'), so a journal with mixed-era records replays whole.
 func (r *Registry) applyRecord(payload []byte, report *RecoveryReport) {
 	idx := report.Admits + report.Evicts + len(report.Skipped)
 	skip := func(op, key, reason string) {
 		report.Skipped = append(report.Skipped, RecordFault{Index: idx, Op: op, Key: key, Reason: reason})
+	}
+	if wire.IsFrame(payload) {
+		typ, body, rest, err := wire.DecodeFrame(payload)
+		if err != nil {
+			skip("", "", fmt.Sprintf("undecodable record frame: %v", err))
+			return
+		}
+		if len(rest) != 0 {
+			skip("", "", "trailing bytes after record frame")
+			return
+		}
+		switch typ {
+		case wire.FrameWALAdmit:
+			var rec wire.WALAdmit
+			if err := rec.DecodeFrom(body); err != nil {
+				skip(walOpAdmit, "", fmt.Sprintf("undecodable admit record: %v", err))
+				return
+			}
+			r.applyAdmit(rec.Key, rec.Config, rec.Artifact, report, skip)
+		case wire.FrameWALEvict:
+			var rec wire.WALEvict
+			if err := rec.DecodeFrom(body); err != nil {
+				skip(walOpEvict, "", fmt.Sprintf("undecodable evict record: %v", err))
+				return
+			}
+			r.do(r.shardFor(rec.Key), request{op: opEvict, key: rec.Key})
+			report.Evicts++
+		default:
+			skip("", "", fmt.Sprintf("unexpected record frame type %v", typ))
+		}
+		return
 	}
 	var rec walRecord
 	if err := json.Unmarshal(payload, &rec); err != nil {
@@ -232,30 +271,7 @@ func (r *Registry) applyRecord(payload []byte, report *RecoveryReport) {
 	}
 	switch rec.Op {
 	case walOpAdmit:
-		if rec.Artifact == nil {
-			skip(rec.Op, rec.Key, "admit record without an artifact")
-			return
-		}
-		cfg, err := config.Unmarshal(rec.Config)
-		if err != nil {
-			skip(rec.Op, rec.Key, fmt.Sprintf("parsing configuration: %v", err))
-			return
-		}
-		// The registry wrote this artifact itself, so the digest-trusted
-		// fast path applies; a record whose digest no longer verifies falls
-		// back to the full recompile-and-compare validation inside
-		// LoadTrusted, and only a genuinely inconsistent artifact is
-		// skipped.
-		d, err := election.LoadTrusted(rec.Artifact, cfg)
-		if err != nil {
-			skip(rec.Op, rec.Key, fmt.Sprintf("loading artifact: %v", err))
-			return
-		}
-		if resp := r.do(r.shardFor(rec.Key), request{op: opInstall, key: rec.Key, d: d}); resp.out.Err != nil {
-			skip(rec.Op, rec.Key, fmt.Sprintf("installing: %v", resp.out.Err))
-			return
-		}
-		report.Admits++
+		r.applyAdmit(rec.Key, rec.Config, rec.Artifact, report, skip)
 	case walOpEvict:
 		r.do(r.shardFor(rec.Key), request{op: opEvict, key: rec.Key})
 		report.Evicts++
@@ -264,17 +280,56 @@ func (r *Registry) applyRecord(payload []byte, report *RecoveryReport) {
 	}
 }
 
+// applyAdmit installs one replayed admit record (either encoding) through
+// the digest-trusted load fast path.
+func (r *Registry) applyAdmit(key, cfgText string, artifact *election.Compiled, report *RecoveryReport, skip func(op, key, reason string)) {
+	if artifact == nil {
+		skip(walOpAdmit, key, "admit record without an artifact")
+		return
+	}
+	cfg, err := config.Unmarshal(cfgText)
+	if err != nil {
+		skip(walOpAdmit, key, fmt.Sprintf("parsing configuration: %v", err))
+		return
+	}
+	// The registry wrote this artifact itself, so the digest-trusted
+	// fast path applies; a record whose digest no longer verifies falls
+	// back to the full recompile-and-compare validation inside
+	// LoadTrusted, and only a genuinely inconsistent artifact is
+	// skipped.
+	d, err := election.LoadTrusted(artifact, cfg)
+	if err != nil {
+		skip(walOpAdmit, key, fmt.Sprintf("loading artifact: %v", err))
+		return
+	}
+	if resp := r.do(r.shardFor(key), request{op: opInstall, key: key, d: d}); resp.out.Err != nil {
+		skip(walOpAdmit, key, fmt.Sprintf("installing: %v", resp.out.Err))
+		return
+	}
+	report.Admits++
+}
+
 // walAppendAdmit journals one acknowledged admission: the key, the
 // (normalized) configuration text, and the compiled artifact with its
 // digest. It runs on the builder goroutine, after the shard install and
 // before the acknowledgment — never on a shard worker.
 func (r *Registry) walAppendAdmit(key string, d *election.Dedicated) error {
-	payload, err := json.Marshal(walRecord{
-		Op:       walOpAdmit,
-		Key:      key,
-		Config:   d.Config.Marshal(),
-		Artifact: d.Compile(),
-	})
+	var payload []byte
+	var err error
+	if r.walOpts.Encoding == EncodingJSON {
+		payload, err = json.Marshal(walRecord{
+			Op:       walOpAdmit,
+			Key:      key,
+			Config:   d.Config.Marshal(),
+			Artifact: d.Compile(),
+		})
+	} else {
+		payload, err = wire.AppendWALAdmitFrame(nil, &wire.WALAdmit{
+			Key:      key,
+			Config:   d.Config.Marshal(),
+			Artifact: d.Compile(),
+		})
+	}
 	if err != nil {
 		return fmt.Errorf("service: encoding journal record for %q: %w", key, err)
 	}
@@ -284,11 +339,14 @@ func (r *Registry) walAppendAdmit(key string, d *election.Dedicated) error {
 // walAppendEvict journals one acknowledged eviction; it runs on the
 // evicting caller's goroutine.
 func (r *Registry) walAppendEvict(key string) error {
-	payload, err := json.Marshal(walRecord{Op: walOpEvict, Key: key})
-	if err != nil {
-		return fmt.Errorf("service: encoding journal record for %q: %w", key, err)
+	if r.walOpts.Encoding == EncodingJSON {
+		payload, err := json.Marshal(walRecord{Op: walOpEvict, Key: key})
+		if err != nil {
+			return fmt.Errorf("service: encoding journal record for %q: %w", key, err)
+		}
+		return r.walAppend(payload)
 	}
-	return r.walAppend(payload)
+	return r.walAppend(wire.AppendWALEvictFrame(nil, &wire.WALEvict{Key: key}))
 }
 
 // walAppend writes one record and advances the checkpoint record counter.
@@ -355,7 +413,7 @@ func (r *Registry) Checkpoint() error {
 	}
 	r.checkpointMu.Lock()
 	defer r.checkpointMu.Unlock()
-	if r.closed.Load() {
+	if r.isClosed() {
 		return ErrClosed
 	}
 	start := time.Now()

@@ -1,0 +1,42 @@
+package service
+
+import "fmt"
+
+// Encoding selects the at-rest encoding of snapshot artifacts and journal
+// records. Readers always auto-detect per file / per record (wire frames
+// start with the wire magic, JSON documents with '{'), so the option only
+// governs what gets *written*: a binary registry restores JSON-era
+// snapshots and replays JSON-era journals unchanged, and vice versa.
+type Encoding uint8
+
+const (
+	// EncodingBinary writes compact wire frames (internal/wire); the
+	// default — several-fold smaller at rest and parse-cheaper on restore.
+	EncodingBinary Encoding = iota
+	// EncodingJSON writes the pre-binary era's indented JSON: artifacts
+	// remain directly usable with `elect -compiled` and greppable by
+	// operators, at a size and parse cost (see docs/PERFORMANCE.md, E16).
+	EncodingJSON
+)
+
+// String returns the flag/manifest name of the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncodingBinary:
+		return "binary"
+	case EncodingJSON:
+		return "json"
+	}
+	return fmt.Sprintf("encoding(%d)", uint8(e))
+}
+
+// ParseEncoding parses the flag/manifest name of an encoding.
+func ParseEncoding(s string) (Encoding, error) {
+	switch s {
+	case "binary":
+		return EncodingBinary, nil
+	case "json":
+		return EncodingJSON, nil
+	}
+	return 0, fmt.Errorf("service: unknown encoding %q (want binary or json)", s)
+}

@@ -1,0 +1,285 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anonradio/internal/config"
+	"anonradio/internal/wal"
+	"anonradio/internal/wire"
+)
+
+// TestParseEncoding pins the flag names.
+func TestParseEncoding(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Encoding
+	}{{"binary", EncodingBinary}, {"json", EncodingJSON}} {
+		got, err := ParseEncoding(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseEncoding(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("%v.String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseEncoding("protobuf"); err == nil {
+		t.Fatal("ParseEncoding accepted an unknown encoding")
+	}
+}
+
+// TestSnapshotEncodings snapshots the same registry under both encodings
+// and asserts the on-disk formats, the manifest's encoding field, the
+// restore equivalence, and the size win the binary format exists for.
+func TestSnapshotEncodings(t *testing.T) {
+	src := newTestRegistry(t, 2)
+	keys := make([]string, 0, len(testConfigs()))
+	for key := range testConfigs() {
+		keys = append(keys, key)
+	}
+	want := electOutcomes(t, src, keys)
+
+	jsonDir, binDir := t.TempDir(), t.TempDir()
+	jsonSrc := New(Options{Shards: 2, SnapshotEncoding: EncodingJSON})
+	t.Cleanup(jsonSrc.Close)
+	for key, cfg := range testConfigs() {
+		if err := jsonSrc.Register(key, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mJSON, err := jsonSrc.Snapshot(jsonDir)
+	if err != nil {
+		t.Fatalf("json snapshot: %v", err)
+	}
+	mBin, err := src.Snapshot(binDir)
+	if err != nil {
+		t.Fatalf("binary snapshot: %v", err)
+	}
+	if mJSON.Encoding != "json" || mBin.Encoding != "binary" {
+		t.Fatalf("manifest encodings %q / %q, want json / binary", mJSON.Encoding, mBin.Encoding)
+	}
+
+	var jsonBytes, binBytes int64
+	for i, m := range []*Manifest{mJSON, mBin} {
+		dir := []string{jsonDir, binDir}[i]
+		wantExt := []string{".json", ".bin"}[i]
+		for _, e := range m.Entries {
+			if !strings.HasSuffix(e.ArtifactFile, wantExt) {
+				t.Fatalf("%s snapshot wrote %s, want %s files", m.Encoding, e.ArtifactFile, wantExt)
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.ArtifactFile))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if isFrame := wire.IsFrame(data); isFrame != (wantExt == ".bin") {
+				t.Fatalf("%s content of %s: IsFrame=%v", m.Encoding, e.ArtifactFile, isFrame)
+			}
+			if wantExt == ".json" {
+				jsonBytes += int64(len(data))
+			} else {
+				binBytes += int64(len(data))
+			}
+		}
+	}
+	if binBytes*3 > jsonBytes {
+		t.Fatalf("binary artifacts are %d bytes vs %d JSON — want at least 3x smaller", binBytes, jsonBytes)
+	}
+
+	// Both snapshots restore — each into a fresh registry of the *other*
+	// write encoding, so restore decodes purely by sniffing — and serve
+	// bit-identical outcomes through the digest-trusted fast path.
+	for i, dir := range []string{jsonDir, binDir} {
+		dst := New(Options{Shards: 3, SnapshotEncoding: []Encoding{EncodingBinary, EncodingJSON}[i]})
+		t.Cleanup(dst.Close)
+		report, err := dst.Restore(dir)
+		if err != nil {
+			t.Fatalf("restore from %s: %v", dir, err)
+		}
+		if report.Trusted != len(keys) || report.Revalidated != 0 {
+			t.Fatalf("restore report %+v, want all %d digest-trusted", report, len(keys))
+		}
+		if got := electOutcomes(t, dst, keys); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("outcomes diverged after %s restore:\n got %v\nwant %v", dir, got, want)
+		}
+	}
+}
+
+// TestJSONEraSnapshotCheckpointsBinary is the upgrade path in one test: a
+// durable registry writing JSON (the pre-binary era) checkpoints and closes;
+// the same directory reopens under the binary defaults, restores the JSON
+// checkpoint, and its next checkpoint rewrites the state as binary — with
+// outcomes bit-identical across the whole journey.
+func TestJSONEraSnapshotCheckpointsBinary(t *testing.T) {
+	dir := t.TempDir()
+	era1, _, err := Open(Options{
+		Shards:           2,
+		SnapshotEncoding: EncodingJSON,
+		WAL:              WALOptions{Dir: dir, Sync: wal.SyncAlways, Encoding: EncodingJSON},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"alpha", "beta", "gamma"}
+	for i, key := range keys {
+		if err := era1.Register(key, config.StaggeredClique(5+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := era1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := electOutcomes(t, era1, keys)
+	era1.Close()
+
+	ckDir := filepath.Join(dir, CheckpointDirName)
+	m, err := ReadManifest(ckDir)
+	if err != nil || m.Encoding != "json" {
+		t.Fatalf("era-1 checkpoint manifest: %+v, %v (want json encoding)", m, err)
+	}
+
+	era2, report := openTestRegistry(t, dir, WALOptions{Sync: wal.SyncAlways})
+	if !report.CheckpointRestored || report.Checkpoint.Trusted != len(keys) {
+		t.Fatalf("binary-era boot did not trust the JSON checkpoint: %+v", report)
+	}
+	if err := era2.Register("delta", config.StaggeredPath(7, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := era2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadManifest(ckDir)
+	if err != nil || m2.Encoding != "binary" {
+		t.Fatalf("era-2 checkpoint manifest: %+v, %v (want binary encoding)", m2, err)
+	}
+	for _, e := range m2.Entries {
+		data, err := os.ReadFile(filepath.Join(ckDir, e.ArtifactFile))
+		if err != nil || !wire.IsFrame(data) {
+			t.Fatalf("era-2 artifact %s is not a wire frame (%v)", e.ArtifactFile, err)
+		}
+	}
+	if got := electOutcomes(t, era2, keys); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("outcomes diverged across the era boundary:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestMixedEncodingJournalReplay writes a journal whose records span both
+// encodings — a JSON-era boot, then a binary-era boot appending to the same
+// directory — and asserts a third boot replays every record of either
+// encoding into bit-identical outcomes.
+func TestMixedEncodingJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	era1, _, err := Open(Options{Shards: 2, WAL: WALOptions{Dir: dir, Sync: wal.SyncAlways, Encoding: EncodingJSON}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := era1.Register("json-era", config.StaggeredClique(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := era1.Register("doomed", config.SingleNode()); err != nil {
+		t.Fatal(err)
+	}
+	era1.Close()
+
+	era2, report := openTestRegistry(t, dir, WALOptions{Sync: wal.SyncAlways})
+	if !report.Clean() || report.Admits != 2 {
+		t.Fatalf("era-2 replay of the JSON journal: %+v", report)
+	}
+	if err := era2.Register("binary-era", config.StaggeredPath(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !era2.Evict("doomed") {
+		t.Fatal("evict failed")
+	}
+	keys := []string{"json-era", "binary-era"}
+	want := electOutcomes(t, era2, keys)
+	era2.Close()
+
+	era3, report3 := openTestRegistry(t, dir, WALOptions{Sync: wal.SyncAlways})
+	if !report3.Clean() || report3.Admits != 3 || report3.Evicts != 1 {
+		t.Fatalf("mixed-era replay: %+v", report3)
+	}
+	if out, _ := era3.Elect("doomed"); out.Err == nil {
+		t.Fatal("binary evict record did not apply over the JSON admit")
+	}
+	if got := electOutcomes(t, era3, keys); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("mixed-era outcomes diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+// BenchmarkBinarySnapshotWrite / BenchmarkJSONSnapshotWrite measure writing
+// the benchmark fleet's snapshot under each encoding (the checkpoint cost),
+// and the restore pair below measures the boot cost. CI publishes all four
+// into BENCH_engines.json; docs/PERFORMANCE.md (E16) carries the analysis.
+func benchmarkSnapshotWrite(b *testing.B, enc Encoding) {
+	src := New(Options{Shards: 2, SnapshotEncoding: enc})
+	defer src.Close()
+	for i := 0; i < snapBenchCfgs; i++ {
+		if err := src.Register(benchKey(i), snapBenchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Snapshot(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinarySnapshotWrite(b *testing.B) { benchmarkSnapshotWrite(b, EncodingBinary) }
+func BenchmarkJSONSnapshotWrite(b *testing.B)   { benchmarkSnapshotWrite(b, EncodingJSON) }
+
+func benchmarkSnapshotRestore(b *testing.B, enc Encoding) {
+	dir := b.TempDir()
+	src := New(Options{Shards: 2, SnapshotEncoding: enc})
+	for i := 0; i < snapBenchCfgs; i++ {
+		if err := src.Register(benchKey(i), snapBenchConfig(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := src.Snapshot(dir); err != nil {
+		b.Fatal(err)
+	}
+	src.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := New(Options{Shards: 2})
+		if report, err := dst.Restore(dir); err != nil || report.Trusted != snapBenchCfgs {
+			b.Fatalf("restore: %+v, %v", report, err)
+		}
+		dst.Close()
+	}
+}
+
+func BenchmarkBinarySnapshotRestore(b *testing.B) { benchmarkSnapshotRestore(b, EncodingBinary) }
+func BenchmarkJSONSnapshotRestore(b *testing.B)   { benchmarkSnapshotRestore(b, EncodingJSON) }
+
+// BenchmarkBinaryWALAdmit / BenchmarkJSONWALAdmit measure one journaled
+// admission end to end (build + install + journal append) under each record
+// encoding, SyncOff so the encoding cost is not drowned by fsync.
+func benchmarkWALAdmit(b *testing.B, enc Encoding) {
+	r, _, err := Open(Options{Shards: 2, WAL: WALOptions{
+		Dir: b.TempDir(), Sync: wal.SyncOff, Encoding: enc,
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	cfg := config.StaggeredClique(12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Register("k", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryWALAdmit(b *testing.B) { benchmarkWALAdmit(b, EncodingBinary) }
+func BenchmarkJSONWALAdmit(b *testing.B)   { benchmarkWALAdmit(b, EncodingJSON) }

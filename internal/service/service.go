@@ -109,6 +109,11 @@ type Options struct {
 	// durable registries — Open surfaces journal errors and the recovery
 	// report; New panics if the journal cannot be opened.
 	WAL WALOptions
+	// SnapshotEncoding selects the artifact encoding Snapshot (and the
+	// background checkpointer) writes: compact binary wire frames (the
+	// zero value) or the pre-binary era's indented JSON. Restore always
+	// auto-detects per file, so the option never affects what can be read.
+	SnapshotEncoding Encoding
 }
 
 // Outcome is the value-typed result of one served election. It aliases no
@@ -235,17 +240,30 @@ type Registry struct {
 	batches sync.Pool      // chan response, batch-sized — ElectBatch gather
 	workers sync.WaitGroup // shard workers
 
-	// mu serializes Close against every other operation: public methods
-	// hold the read side for their full duration, Close takes the write
-	// side, so a call observes either a fully live or a fully closed
-	// registry — never a torn-down one (the pre-PR-5 check-then-send raced
-	// with Close and could panic on a closed request channel).
-	mu     sync.RWMutex
-	closed atomic.Bool
+	// lifecycle serializes Close against every other public operation
+	// without putting a lock on the serve path: bit 0 is the closed flag,
+	// the remaining bits count in-flight operations (in units of
+	// lifecycleOp). An operation enters with a CAS that increments the
+	// count only while the closed bit is clear, so it observes either a
+	// fully live or a fully closed registry — never a torn-down one (the
+	// pre-PR-5 check-then-send raced with Close and could panic on a
+	// closed request channel). Close sets the bit (turning every later
+	// entry into a deterministic ErrClosed), waits for the count to drain,
+	// and only then tears the pipeline down. This replaces the registry-
+	// wide RWMutex whose read acquisition was the last shared cache-line
+	// contention on the serve path at high core counts.
+	lifecycle atomic.Int64
+	// drained is closed by the release that drops the last in-flight
+	// operation after Close set the closed bit.
+	drained chan struct{}
+	// closeDone is closed when Close finished the teardown; concurrent
+	// Close calls wait on it so Close-returned implies fully closed.
+	closeDone chan struct{}
 
 	trustDigests bool
 	buildOnShard bool
 	buildHook    func(key string)
+	snapshotEnc  Encoding
 
 	// Admission pipeline state (admission.go).
 	admissions   chan admission
@@ -316,7 +334,10 @@ func newCore(opts Options) *Registry {
 	}
 	r := &Registry{
 		shards:       make([]*shard, shards),
+		drained:      make(chan struct{}),
+		closeDone:    make(chan struct{}),
 		trustDigests: opts.TrustCompiledDigests,
+		snapshotEnc:  opts.SnapshotEncoding,
 		// The journal hooks into the builder pipeline (appends happen on
 		// builder goroutines, after the install and before the
 		// acknowledgment), so durability forces the pipeline on.
@@ -348,6 +369,44 @@ func newCore(opts Options) *Registry {
 // Shards returns the number of shards.
 func (r *Registry) Shards() int { return len(r.shards) }
 
+// lifecycle word layout: bit 0 is the closed flag, the rest is the
+// in-flight operation count in units of lifecycleOp.
+const (
+	lifecycleClosed int64 = 1
+	lifecycleOp     int64 = 2
+)
+
+// acquire enters one public operation: it increments the in-flight count
+// unless the registry is closed. On the warm path this is a single
+// uncontended CAS — no lock, no writer queue.
+func (r *Registry) acquire() bool {
+	for {
+		v := r.lifecycle.Load()
+		if v&lifecycleClosed != 0 {
+			return false
+		}
+		if r.lifecycle.CompareAndSwap(v, v+lifecycleOp) {
+			return true
+		}
+	}
+}
+
+// release leaves one public operation. The release that drops the last
+// in-flight operation after Close set the closed bit hands Close the
+// all-drained signal; exactly one release can observe that state because
+// the count is strictly decreasing once the bit is set.
+func (r *Registry) release() {
+	if r.lifecycle.Add(-lifecycleOp) == lifecycleClosed {
+		close(r.drained)
+	}
+}
+
+// isClosed reports whether Close has begun; operations that already hold an
+// acquire slot keep running to completion regardless.
+func (r *Registry) isClosed() bool {
+	return r.lifecycle.Load()&lifecycleClosed != 0
+}
+
 // shardFor hashes the key (FNV-1a) onto its owning shard; a key always maps
 // to the same shard, so per-key operations are totally ordered by the
 // owning worker.
@@ -357,8 +416,9 @@ func (r *Registry) shardFor(key string) *shard {
 
 // do executes one request on the shard and waits for the answer through a
 // pooled rendezvous channel; the round trip is allocation-free once the
-// pool is warm. Callers must hold r.mu (read side) so the shard worker
-// cannot be torn down mid-request.
+// pool is warm. Callers must hold a lifecycle acquire slot (or run inside
+// the pipeline before Close's drain completes) so the shard worker cannot
+// be torn down mid-request.
 func (r *Registry) do(sh *shard, req request) response {
 	reply := r.replies.Get().(chan response)
 	req.reply = reply
@@ -397,11 +457,10 @@ func (r *Registry) RegisterCompiled(key string, c *election.Compiled, cfg *confi
 // admitSync runs one admission to completion: through the builder pipeline
 // normally, or on the owning shard worker under Options.BuildOnShard.
 func (r *Registry) admitSync(key string, cfg *config.Config, c *election.Compiled) error {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.closed.Load() {
+	if !r.acquire() {
 		return ErrClosed
 	}
+	defer r.release()
 	if r.buildOnShard {
 		resp := r.do(r.shardFor(key), request{op: opRegister, key: key, cfg: cfg, compiled: c})
 		return resp.out.Err
@@ -421,11 +480,10 @@ func (r *Registry) admitSync(key string, cfg *config.Config, c *election.Compile
 // (an in-flight re-admission keeps its); eviction is the end of the key's
 // lifecycle, and the status map must not grow with historical keys.
 func (r *Registry) Evict(key string) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.closed.Load() {
+	if !r.acquire() {
 		return false
 	}
+	defer r.release()
 	resp := r.do(r.shardFor(key), request{op: opEvict, key: key})
 	if resp.evicted {
 		r.admitMu.Lock()
@@ -448,14 +506,15 @@ func (r *Registry) Evict(key string) bool {
 // Elect serves one election for the configuration registered under key.
 // This is the steady-state path: once the registry is warm it performs zero
 // heap allocations end to end (pooled rendezvous channel, value-typed
-// request/response, zero-alloc ElectInto on the shard), and it never waits
-// behind an admission — builds run on the builder pool, not the shard.
+// request/response, zero-alloc ElectInto on the shard), entering the
+// lifecycle with one uncontended CAS instead of an RWMutex read, and it
+// never waits behind an admission — builds run on the builder pool, not
+// the shard.
 func (r *Registry) Elect(key string) (Outcome, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.closed.Load() {
+	if !r.acquire() {
 		return Outcome{Key: key, Leader: -1, Err: ErrClosed}, ErrClosed
 	}
+	defer r.release()
 	resp := r.do(r.shardFor(key), request{op: opElect, key: key})
 	return resp.out, resp.out.Err
 }
@@ -471,9 +530,7 @@ func (r *Registry) ElectBatch(keys []string, outs []Outcome) ([]Outcome, error) 
 	} else {
 		outs = outs[:len(keys)]
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.closed.Load() {
+	if !r.acquire() {
 		// Fill every slot explicitly: reused slices would otherwise carry
 		// stale outcomes from a previous batch (and fresh ones a plausible
 		// zero value), both of which read as successful elections.
@@ -482,6 +539,7 @@ func (r *Registry) ElectBatch(keys []string, outs []Outcome) ([]Outcome, error) 
 		}
 		return outs, ErrClosed
 	}
+	defer r.release()
 	if len(keys) == 0 {
 		return outs, nil
 	}
@@ -518,11 +576,10 @@ func (r *Registry) batchReply(n int) chan response {
 // it returns ErrClosed rather than all-zero rows that would read as a
 // healthy empty server.
 func (r *Registry) Stats() ([]ShardStats, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.closed.Load() {
+	if !r.acquire() {
 		return nil, ErrClosed
 	}
+	defer r.release()
 	stats := make([]ShardStats, len(r.shards))
 	for i, sh := range r.shards {
 		stats[i] = r.do(sh, request{op: opStats}).stats
@@ -545,22 +602,38 @@ func (r *Registry) Len() int {
 // normally, later ones return ErrClosed (or report false/zero for Evict
 // and Len). Calling it twice is safe.
 func (r *Registry) Close() {
-	// Stop the checkpointer before taking the write lock: a checkpoint in
-	// flight holds the read lock (through Snapshot) and would deadlock a
-	// writer waiting for it while it waits to be stopped.
+	// Stop the checkpointer before setting the closed bit: a checkpoint in
+	// flight holds an acquire slot (through Snapshot) and would deadlock
+	// the drain while it waits to be stopped.
 	if r.checkpointStop != nil {
 		r.checkpointOnce.Do(func() { close(r.checkpointStop) })
 		r.checkpointWG.Wait()
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed.Swap(true) {
-		return
+	// Elect the closer: exactly one caller flips the closed bit; the rest
+	// wait for the winner's teardown to finish so Close-returned always
+	// means fully closed.
+	for {
+		v := r.lifecycle.Load()
+		if v&lifecycleClosed != 0 {
+			<-r.closeDone
+			return
+		}
+		if !r.lifecycle.CompareAndSwap(v, v|lifecycleClosed) {
+			continue
+		}
+		if v != 0 {
+			// Operations were in flight when the bit went up; the last
+			// release signals the drain. Synchronous admissions hold their
+			// slot while waiting on a builder, and the builders stay up
+			// until after this wait, so every waiter is answered.
+			<-r.drained
+		}
+		break
 	}
-	// No public operation is in flight (they hold the read lock) and none
-	// can start (closed is set), so the pipeline tears down cleanly: first
-	// the builders (which may still be installing onto live shards), then
-	// the shard workers.
+	// No public operation is in flight (the count drained) and none can
+	// start (the closed bit is set), so the pipeline tears down cleanly:
+	// first the builders (which may still be installing onto live shards),
+	// then the shard workers.
 	close(r.admissions)
 	r.builders.Wait()
 	for _, sh := range r.shards {
@@ -573,6 +646,7 @@ func (r *Registry) Close() {
 		// process buffer included).
 		_ = r.wal.Close()
 	}
+	close(r.closeDone)
 }
 
 // worker owns one shard: it is the only goroutine that ever reads or writes

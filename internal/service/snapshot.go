@@ -12,6 +12,7 @@ import (
 
 	"anonradio/internal/config"
 	"anonradio/internal/election"
+	"anonradio/internal/wire"
 )
 
 // This file implements registry snapshot and restore: a warm registry is
@@ -22,16 +23,24 @@ import (
 //
 // On-disk layout of a snapshot directory:
 //
-//	manifest.json        — Manifest: version, shard count, one entry per key
-//	NNNN.artifact.json   — election.Compiled (the same JSON cmd/compile
-//	                       writes; each artifact is independently usable
-//	                       with `elect -compiled`)
+//	manifest.json        — Manifest: version, shard count, artifact
+//	                       encoding, one entry per key
+//	NNNN.artifact.bin    — one wire.FrameArtifact frame (the default
+//	                       binary encoding; CRC-checked, several-fold
+//	                       smaller than the JSON form)
+//	NNNN.artifact.json   — election.Compiled under Options.
+//	                       SnapshotEncoding = EncodingJSON (the same JSON
+//	                       cmd/compile writes; each artifact is
+//	                       independently usable with `elect -compiled`)
 //	NNNN.config.txt      — the configuration in the text format of
 //	                       internal/config (usable with `elect -config`)
 //
 // Files are numbered in sorted key order, so a snapshot of a given
 // registry content is byte-stable; keys themselves live only inside the
 // manifest (they are arbitrary strings and do not make safe file names).
+// Restore auto-detects each artifact file's encoding from its leading
+// bytes (wire magic vs '{'), so JSON-era snapshot directories keep
+// restoring unchanged into binary-writing registries and vice versa.
 
 // ManifestVersion is the snapshot format version written by Snapshot.
 const ManifestVersion = 1
@@ -77,6 +86,10 @@ type Manifest struct {
 	// Shards is the shard count of the registry the snapshot was taken from
 	// (informational; a snapshot restores into any shard count).
 	Shards int `json:"shards"`
+	// Encoding records the artifact encoding the snapshot was written with
+	// ("binary" or "json"). Informational: restore auto-detects per file,
+	// and an absent value (pre-binary manifests) simply means "json".
+	Encoding string `json:"encoding,omitempty"`
 	// Entries lists every persisted configuration, in sorted key order.
 	Entries []ManifestEntry `json:"entries"`
 }
@@ -117,11 +130,10 @@ type RestoreReport struct {
 // internally consistent (concurrent admissions land in the snapshot iff
 // they reached their shard first).
 func (r *Registry) SnapshotEntries() ([]SnapshotEntry, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.closed.Load() {
+	if !r.acquire() {
 		return nil, ErrClosed
 	}
+	defer r.release()
 	var entries []SnapshotEntry
 	for _, sh := range r.shards {
 		entries = append(entries, r.do(sh, request{op: opSnapshot}).entries...)
@@ -152,20 +164,28 @@ func (r *Registry) Snapshot(dir string) (*Manifest, error) {
 	}
 	// Stage: write all data files under temporary names.
 	const stageSuffix = ".staged"
-	m := &Manifest{Version: ManifestVersion, Shards: len(r.shards)}
+	m := &Manifest{Version: ManifestVersion, Shards: len(r.shards), Encoding: r.snapshotEnc.String()}
 	for i, e := range entries {
 		me := ManifestEntry{
 			Key:            e.Key,
 			ConfigFile:     fmt.Sprintf("%04d.config.txt", i),
-			ArtifactFile:   fmt.Sprintf("%04d.artifact.json", i),
 			ArtifactDigest: e.Artifact.ArtifactDigest,
 			Nodes:          e.Config.N(),
 		}
-		data, err := json.MarshalIndent(e.Artifact, "", "  ")
+		var data []byte
+		var err error
+		if r.snapshotEnc == EncodingJSON {
+			me.ArtifactFile = fmt.Sprintf("%04d.artifact.json", i)
+			data, err = json.MarshalIndent(e.Artifact, "", "  ")
+			data = append(data, '\n')
+		} else {
+			me.ArtifactFile = fmt.Sprintf("%04d.artifact.bin", i)
+			data, err = wire.AppendArtifactFrame(nil, e.Artifact)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("service: encoding artifact for %q: %w", e.Key, err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, me.ArtifactFile+stageSuffix), append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, me.ArtifactFile+stageSuffix), data, 0o644); err != nil {
 			return nil, fmt.Errorf("service: writing artifact for %q: %w", e.Key, err)
 		}
 		if err := os.WriteFile(filepath.Join(dir, me.ConfigFile+stageSuffix), []byte(e.Config.Marshal()), 0o644); err != nil {
@@ -252,14 +272,12 @@ func ReadManifest(dir string) (*Manifest, error) {
 // registry is closed; callers that require a complete restore must check
 // report.Skipped.
 func (r *Registry) Restore(dir string) (*RestoreReport, error) {
-	r.mu.RLock()
-	if r.closed.Load() {
-		r.mu.RUnlock()
+	if !r.acquire() {
 		return nil, ErrClosed
 	}
 	m, err := ReadManifest(dir)
 	if err != nil {
-		r.mu.RUnlock()
+		r.release()
 		return nil, err
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -307,7 +325,7 @@ func (r *Registry) Restore(dir string) (*RestoreReport, error) {
 			report.Skipped = append(report.Skipped, s)
 		}
 	}
-	r.mu.RUnlock()
+	r.release()
 	// New state entered the registry outside the admission pipeline; make
 	// it durable if a journal is attached (no-op otherwise). The kick is
 	// asynchronous, so a restore during recovery (before the journal opens)
@@ -319,7 +337,7 @@ func (r *Registry) Restore(dir string) (*RestoreReport, error) {
 // restoreEntry parses, validates and re-admits one manifest entry on the
 // calling restore goroutine (the shard only sees the O(1) install),
 // reporting whether it went through the digest-trusted fast path. The
-// caller holds r.mu (read side).
+// caller holds a lifecycle acquire slot.
 func (r *Registry) restoreEntry(dir string, me ManifestEntry) (trusted bool, err error) {
 	cfgData, err := os.ReadFile(filepath.Join(dir, me.ConfigFile))
 	if err != nil {
@@ -333,7 +351,9 @@ func (r *Registry) restoreEntry(dir string, me ManifestEntry) (trusted bool, err
 	if err != nil {
 		return false, fmt.Errorf("service: restoring %q: %w", me.Key, err)
 	}
-	artifact, err := election.UnmarshalCompiled(artData)
+	// Auto-detect the artifact's encoding from its leading bytes: binary
+	// wire frames and JSON-era files restore interchangeably.
+	artifact, err := wire.DecodeArtifactAuto(artData)
 	if err != nil {
 		return false, fmt.Errorf("service: restoring %q: %w", me.Key, err)
 	}

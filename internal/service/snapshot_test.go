@@ -11,6 +11,7 @@ import (
 	"anonradio/internal/config"
 	"anonradio/internal/election"
 	"anonradio/internal/radio"
+	"anonradio/internal/wire"
 )
 
 // TestSnapshotRestoreRoundTrip is the snapshot acceptance check: snapshot a
@@ -36,7 +37,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("reading artifact %s: %v", e.ArtifactFile, err)
 		}
-		artifact, err := election.UnmarshalCompiled(data)
+		artifact, err := wire.DecodeArtifactAuto(data)
 		if err != nil {
 			t.Fatalf("decoding artifact %s: %v", e.ArtifactFile, err)
 		}
@@ -221,7 +222,7 @@ func TestRestoreRejectsTamperedArtifact(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reading artifact: %v", err)
 	}
-	artifact, err := election.UnmarshalCompiled(data)
+	artifact, err := wire.DecodeArtifactAuto(data)
 	if err != nil {
 		t.Fatalf("decoding artifact: %v", err)
 	}

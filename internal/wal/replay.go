@@ -87,6 +87,21 @@ func replaySegment(path string, fn func(payload []byte) error, report *Report) e
 	report.Segments++
 	name := filepath.Base(path)
 	off := 0
+	// A segment header (format version 2+) precedes the records; its
+	// absence means a version-1 segment, whose records start at byte 0 in
+	// the same framing. A segment from a newer format than this build
+	// understands is skipped whole — its record encoding cannot be assumed —
+	// and reported, never silently misread.
+	if len(data) >= segmentHeaderSize && binary.LittleEndian.Uint32(data) == segmentMagic {
+		if v := data[4]; v > SegmentVersion {
+			report.Faults = append(report.Faults, Fault{
+				Segment: name,
+				Reason:  fmt.Sprintf("segment format version %d is newer than the supported %d; segment skipped", v, SegmentVersion),
+			})
+			return nil
+		}
+		off = segmentHeaderSize
+	}
 	for off < len(data) {
 		payload, n, ok := parseFrame(data[off:])
 		if ok {

@@ -19,10 +19,12 @@
 //     timer (bounded loss on power failure), SyncOff buffers in process
 //     memory (fastest; a kill can lose the buffered tail, which replay
 //     then truncates).
-//   - Segments. The log is a sequence of journal-NNNNNNNN.wal files;
-//     Rotate freezes the active segment and opens the next one, which is
-//     how checkpointing truncates the journal: snapshot the state, then
-//     delete the frozen segments the snapshot covers.
+//   - Segments. The log is a sequence of journal-NNNNNNNN.wal files, each
+//     opening with an 8-byte header (magic, format version byte, padding;
+//     see SegmentVersion — version-1 segments predate the header and are
+//     still replayed). Rotate freezes the active segment and opens the next
+//     one, which is how checkpointing truncates the journal: snapshot the
+//     state, then delete the frozen segments the snapshot covers.
 //   - Replay. Replay walks the segments in order and delivers every intact
 //     payload. Faults do not abort the boot: a torn or corrupt tail is
 //     physically truncated, a corrupt record mid-log is skipped by scanning
@@ -55,6 +57,23 @@ const (
 	// MaxRecord bounds one payload; a header claiming more is corruption,
 	// not a record (it also caps what replay will buffer).
 	MaxRecord = 1 << 30
+
+	// segmentMagic starts every segment written at SegmentVersion >= 2; the
+	// first journal format wrote record frames from byte 0 with no segment
+	// header, and replay still accepts those segments as version 1.
+	segmentMagic uint32 = 0x324C4157 // "WAL2" when read as little-endian bytes
+
+	// segmentHeaderSize is segment magic + version byte + 3 reserved zero
+	// bytes.
+	segmentHeaderSize = 8
+
+	// SegmentVersion is the segment format this package writes. Version 2
+	// introduced the segment header itself, alongside binary
+	// (internal/wire-framed) record payloads in internal/service; the record
+	// framing is unchanged, so either version's records replay through the
+	// same scanner. Replay skips (and reports) segments from a *newer*
+	// version instead of guessing at their contents.
+	SegmentVersion = 2
 )
 
 // castagnoli is the CRC-32C table (the polynomial with hardware support on
@@ -242,14 +261,22 @@ func Open(dir string, opts Options) (*Log, error) {
 	return l, nil
 }
 
-// openSegment creates the active segment file l.seq; the caller holds mu
-// (or is Open, before the log escapes).
+// openSegment creates the active segment file l.seq and writes its header;
+// the caller holds mu (or is Open, before the log escapes).
 func (l *Log) openSegment() error {
 	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating segment: %w", err)
 	}
+	var hdr [segmentHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], segmentMagic)
+	hdr[4] = SegmentVersion
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
 	l.f = f
+	l.bytes.Add(segmentHeaderSize)
 	return nil
 }
 

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 )
@@ -164,7 +166,7 @@ func TestCorruptInteriorSkipped(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Locate record 4's payload by walking the frames, then flip one byte.
-	off := 0
+	off := segmentHeaderSize
 	for i := 0; i < 4; i++ {
 		length := int(binary.LittleEndian.Uint32(data[off+4:]))
 		off += headerSize + length
@@ -192,7 +194,7 @@ func TestCorruptHeaderResync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	off := 0
+	off := segmentHeaderSize
 	for i := 0; i < 2; i++ {
 		length := int(binary.LittleEndian.Uint32(data[off+4:]))
 		off += headerSize + length
@@ -228,7 +230,7 @@ func TestMagicInsidePayload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[headerSize] ^= 0xFF // corrupt record 0's payload
+	data[segmentHeaderSize+headerSize] ^= 0xFF // corrupt record 0's payload
 	if err := os.WriteFile(seg, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -340,6 +342,51 @@ func TestClosedLog(t *testing.T) {
 	}
 	if _, err := l.Rotate(); err != ErrClosed {
 		t.Fatalf("rotate on closed log: %v, want ErrClosed", err)
+	}
+}
+
+// TestHeaderlessSegmentReplays pins backward compatibility with format
+// version 1: a segment whose records start at byte 0, with no segment
+// header, replays cleanly alongside headered segments.
+func TestHeaderlessSegmentReplays(t *testing.T) {
+	dir := t.TempDir()
+	recs := payloads(5)
+	var old []byte
+	for _, p := range recs[:3] {
+		old = binary.LittleEndian.AppendUint32(old, frameMagic)
+		old = binary.LittleEndian.AppendUint32(old, uint32(len(p)))
+		old = binary.LittleEndian.AppendUint32(old, crc32.Checksum(p, castagnoli))
+		old = append(old, p...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A current-format boot appends after it in a fresh, headered segment.
+	appendAll(t, dir, Options{Sync: SyncAlways}, recs[3:])
+	got, report := replayAll(t, dir)
+	checkRecords(t, got, recs)
+	if !report.Clean() || report.Segments != 2 {
+		t.Fatalf("mixed-version replay report %+v, want 2 clean segments", report)
+	}
+}
+
+// TestNewerSegmentVersionSkipped pins the forward stance: a segment whose
+// header claims a format this build does not know is skipped whole and
+// reported, never scanned on guesses about its record encoding.
+func TestNewerSegmentVersionSkipped(t *testing.T) {
+	dir := t.TempDir()
+	recs := payloads(4)
+	appendAll(t, dir, Options{Sync: SyncAlways}, recs[:2])
+	future := binary.LittleEndian.AppendUint32(nil, segmentMagic)
+	future = append(future, SegmentVersion+1, 0, 0, 0)
+	future = append(future, []byte("records of a format from the future")...)
+	if err := os.WriteFile(filepath.Join(dir, segmentName(2)), future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, report := replayAll(t, dir)
+	checkRecords(t, got, recs[:2])
+	if len(report.Faults) != 1 {
+		t.Fatalf("report %+v, want exactly one newer-version fault", report)
 	}
 }
 

@@ -1,0 +1,384 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"anonradio/internal/canonical"
+	"anonradio/internal/core"
+	"anonradio/internal/election"
+	"anonradio/internal/history"
+)
+
+// This file encodes compiled election artifacts (election.Compiled): the
+// payload of FrameArtifact (binary snapshot files), of the artifact section
+// of FrameRegisterRequest, and of FrameWALAdmit journal records.
+//
+// The variable-shape sections (blueprint lists, leader history, match rows)
+// are varint-packed; the fixed-shape phase-table round plans — by far the
+// widest section of large artifacts — encode as a flat []uint64, one row
+// per local round, phase in the high 32 bits and block in the low 32
+// (two's complement for the -1 terminate marker). That keeps the hot
+// restore loop a single 8-byte load per round with no varint branching.
+//
+// The encoding is lossless for every artifact the compiler produces:
+// ArtifactDigest is carried as the verbatim string (so even a malformed
+// digest survives a round trip and still deselects the trusted-load fast
+// path, exactly as it does in JSON), and history entries keep their Msg
+// regardless of kind.
+
+// artifactVersion is the current artifact payload version; readers accept
+// only versions they know.
+const artifactVersion = 1
+
+// plan row packing: phase<<32 | block, both int32 two's complement.
+
+func packPlan(p canonical.RoundPlan) (uint64, error) {
+	if int64(int32(p.Phase)) != int64(p.Phase) || int64(int32(p.Block)) != int64(p.Block) {
+		return 0, fmt.Errorf("%w: round plan {phase %d, block %d} exceeds int32", ErrRange, p.Phase, p.Block)
+	}
+	return uint64(uint32(int32(p.Phase)))<<32 | uint64(uint32(int32(p.Block))), nil
+}
+
+func unpackPlan(x uint64) canonical.RoundPlan {
+	return canonical.RoundPlan{
+		Phase: int(int32(uint32(x >> 32))),
+		Block: int(int32(uint32(x))),
+	}
+}
+
+// ArtifactSize returns the exact payload size AppendArtifact will write, or
+// an error when the artifact cannot be encoded (a phase-table row outside
+// the fixed-width int32 range — impossible for compiler-produced tables,
+// possible for hand-edited JSON).
+func ArtifactSize(c *election.Compiled) (int, error) {
+	n := sizeUvarint(artifactVersion)
+	n += sizeString(c.ConfigName)
+	n += sizeString(c.ArtifactDigest)
+	n += sizeSvarint(int64(c.ExpectedLeader))
+	n += sizeSvarint(int64(c.LocalRounds))
+	n += sizeSvarint(int64(c.RoundBound))
+	n += sizeUvarint(uint64(len(c.LeaderHistory)))
+	for i := range c.LeaderHistory {
+		n += 1 + sizeString(c.LeaderHistory[i].Msg)
+	}
+	n += sizeSvarint(int64(c.Blueprint.Sigma))
+	n += sizeUvarint(uint64(len(c.Blueprint.Lists)))
+	for _, l := range c.Blueprint.Lists {
+		n += 1 + sizeUvarint(uint64(len(l.Entries)))
+		for _, e := range l.Entries {
+			n += sizeSvarint(int64(e.OldClass))
+			n += sizeUvarint(uint64(len(e.Label)))
+			for _, t := range e.Label {
+				n += sizeSvarint(int64(t.Class)) + sizeSvarint(int64(t.Round)) + 1
+			}
+		}
+	}
+	n += 1 // phase-table presence flag
+	if pt := c.PhaseTable; pt != nil {
+		n += sizeSvarint(int64(pt.Sigma))
+		n += sizeUvarint(uint64(len(pt.Plans)))
+		for _, p := range pt.Plans {
+			if _, err := packPlan(p); err != nil {
+				return 0, err
+			}
+		}
+		n += 8 * len(pt.Plans)
+		n += sizeUvarint(uint64(len(pt.Matches)))
+		for _, pm := range pt.Matches {
+			n += sizeSvarint(int64(pm.Start))
+			n += sizeUvarint(uint64(len(pm.Rows)))
+			for _, row := range pm.Rows {
+				n += sizeSvarint(int64(row.OldClass))
+				n += sizeUvarint(uint64(len(row.Expect))) + len(row.Expect)
+			}
+		}
+	}
+	return n, nil
+}
+
+// AppendArtifact appends the encoded artifact payload (no frame) to dst; it
+// writes exactly ArtifactSize bytes.
+func AppendArtifact(dst []byte, c *election.Compiled) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, artifactVersion)
+	dst = appendString(dst, c.ConfigName)
+	dst = appendString(dst, c.ArtifactDigest)
+	dst = binary.AppendVarint(dst, int64(c.ExpectedLeader))
+	dst = binary.AppendVarint(dst, int64(c.LocalRounds))
+	dst = binary.AppendVarint(dst, int64(c.RoundBound))
+	dst = binary.AppendUvarint(dst, uint64(len(c.LeaderHistory)))
+	for i := range c.LeaderHistory {
+		dst = append(dst, byte(c.LeaderHistory[i].Kind))
+		dst = appendString(dst, c.LeaderHistory[i].Msg)
+	}
+	dst = binary.AppendVarint(dst, int64(c.Blueprint.Sigma))
+	dst = binary.AppendUvarint(dst, uint64(len(c.Blueprint.Lists)))
+	for _, l := range c.Blueprint.Lists {
+		var flags byte
+		if l.Terminate {
+			flags = 1
+		}
+		dst = append(dst, flags)
+		dst = binary.AppendUvarint(dst, uint64(len(l.Entries)))
+		for _, e := range l.Entries {
+			dst = binary.AppendVarint(dst, int64(e.OldClass))
+			dst = binary.AppendUvarint(dst, uint64(len(e.Label)))
+			for _, t := range e.Label {
+				dst = binary.AppendVarint(dst, int64(t.Class))
+				dst = binary.AppendVarint(dst, int64(t.Round))
+				var multi byte
+				if t.Multi {
+					multi = 1
+				}
+				dst = append(dst, multi)
+			}
+		}
+	}
+	if pt := c.PhaseTable; pt != nil {
+		dst = append(dst, 1)
+		dst = binary.AppendVarint(dst, int64(pt.Sigma))
+		dst = binary.AppendUvarint(dst, uint64(len(pt.Plans)))
+		for _, p := range pt.Plans {
+			row, err := packPlan(p)
+			if err != nil {
+				return nil, err
+			}
+			dst = binary.LittleEndian.AppendUint64(dst, row)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(pt.Matches)))
+		for _, pm := range pt.Matches {
+			dst = binary.AppendVarint(dst, int64(pm.Start))
+			dst = binary.AppendUvarint(dst, uint64(len(pm.Rows)))
+			for _, row := range pm.Rows {
+				dst = binary.AppendVarint(dst, int64(row.OldClass))
+				dst = binary.AppendUvarint(dst, uint64(len(row.Expect)))
+				dst = append(dst, row.Expect...)
+			}
+		}
+	} else {
+		dst = append(dst, 0)
+	}
+	return dst, nil
+}
+
+// decodeArtifact decodes an artifact payload section from r. Every decoded
+// slice is freshly allocated: nothing aliases the reader's buffer.
+func decodeArtifact(r *reader) (*election.Compiled, error) {
+	version, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if version != artifactVersion {
+		return nil, fmt.Errorf("wire: unsupported artifact version %d", version)
+	}
+	c := new(election.Compiled)
+	if c.ConfigName, err = r.string(); err != nil {
+		return nil, err
+	}
+	if c.ArtifactDigest, err = r.string(); err != nil {
+		return nil, err
+	}
+	if c.ExpectedLeader, err = r.svarintInt(); err != nil {
+		return nil, err
+	}
+	if c.LocalRounds, err = r.svarintInt(); err != nil {
+		return nil, err
+	}
+	if c.RoundBound, err = r.svarintInt(); err != nil {
+		return nil, err
+	}
+	// History entries are at least kind + empty msg = 2 bytes.
+	n, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		c.LeaderHistory = make(history.Vector, n)
+		for i := range c.LeaderHistory {
+			kind, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			c.LeaderHistory[i].Kind = history.Kind(kind)
+			if c.LeaderHistory[i].Msg, err = r.string(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if c.Blueprint.Sigma, err = r.svarintInt(); err != nil {
+		return nil, err
+	}
+	// Lists are at least flags + entry count = 2 bytes.
+	n, err = r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		c.Blueprint.Lists = make([]core.List, n)
+		for i := range c.Blueprint.Lists {
+			l := &c.Blueprint.Lists[i]
+			flags, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			l.Terminate = flags&1 != 0
+			// Entries are at least old-class + label count = 2 bytes.
+			ne, err := r.count(2)
+			if err != nil {
+				return nil, err
+			}
+			if ne == 0 {
+				continue
+			}
+			l.Entries = make([]core.ListEntry, ne)
+			for j := range l.Entries {
+				e := &l.Entries[j]
+				if e.OldClass, err = r.svarintInt(); err != nil {
+					return nil, err
+				}
+				// Triples are at least class + round + multi = 3 bytes.
+				nt, err := r.count(3)
+				if err != nil {
+					return nil, err
+				}
+				if nt == 0 {
+					continue
+				}
+				e.Label = make(core.Label, nt)
+				for k := range e.Label {
+					t := &e.Label[k]
+					if t.Class, err = r.svarintInt(); err != nil {
+						return nil, err
+					}
+					if t.Round, err = r.svarintInt(); err != nil {
+						return nil, err
+					}
+					multi, err := r.byte()
+					if err != nil {
+						return nil, err
+					}
+					t.Multi = multi != 0
+				}
+			}
+		}
+	}
+	present, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if present != 0 {
+		pt := new(canonical.PhaseTable)
+		if pt.Sigma, err = r.svarintInt(); err != nil {
+			return nil, err
+		}
+		// Plan rows are fixed-width 8 bytes.
+		np, err := r.count(8)
+		if err != nil {
+			return nil, err
+		}
+		if np > 0 {
+			raw, err := r.take(8 * np)
+			if err != nil {
+				return nil, err
+			}
+			pt.Plans = make([]canonical.RoundPlan, np)
+			for i := range pt.Plans {
+				pt.Plans[i] = unpackPlan(binary.LittleEndian.Uint64(raw[8*i:]))
+			}
+		}
+		// Matches are at least start + row count = 2 bytes.
+		nm, err := r.count(2)
+		if err != nil {
+			return nil, err
+		}
+		if nm > 0 {
+			pt.Matches = make([]canonical.PhaseMatch, nm)
+			for i := range pt.Matches {
+				pm := &pt.Matches[i]
+				if pm.Start, err = r.svarintInt(); err != nil {
+					return nil, err
+				}
+				// Rows are at least old-class + expect count = 2 bytes.
+				nr, err := r.count(2)
+				if err != nil {
+					return nil, err
+				}
+				if nr == 0 {
+					continue
+				}
+				pm.Rows = make([]canonical.MatchRow, nr)
+				for j := range pm.Rows {
+					row := &pm.Rows[j]
+					if row.OldClass, err = r.svarintInt(); err != nil {
+						return nil, err
+					}
+					ne, err := r.count(1)
+					if err != nil {
+						return nil, err
+					}
+					if ne == 0 {
+						continue
+					}
+					raw, err := r.take(ne)
+					if err != nil {
+						return nil, err
+					}
+					row.Expect = append([]byte(nil), raw...)
+				}
+			}
+		}
+		c.PhaseTable = pt
+	}
+	return c, nil
+}
+
+// DecodeArtifact decodes an artifact payload produced by AppendArtifact.
+func DecodeArtifact(p []byte) (*election.Compiled, error) {
+	r := reader{p}
+	c, err := decodeArtifact(&r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// AppendArtifactFrame appends the framed artifact to dst (the binary
+// snapshot file format: exactly one FrameArtifact per file).
+func AppendArtifactFrame(dst []byte, c *election.Compiled) ([]byte, error) {
+	dst, mark := beginFrame(dst, FrameArtifact)
+	dst, err := AppendArtifact(dst, c)
+	if err != nil {
+		return nil, err
+	}
+	return endFrame(dst, mark), nil
+}
+
+// DecodeArtifactFrame decodes a complete FrameArtifact buffer (header +
+// payload, nothing trailing).
+func DecodeArtifactFrame(b []byte) (*election.Compiled, error) {
+	typ, payload, rest, err := DecodeFrame(b)
+	if err != nil {
+		return nil, err
+	}
+	if typ != FrameArtifact {
+		return nil, fmt.Errorf("%w: got %s, want %s", ErrUnknownFrame, typ, FrameArtifact)
+	}
+	if len(rest) != 0 {
+		return nil, ErrTrailing
+	}
+	return DecodeArtifact(payload)
+}
+
+// DecodeArtifactAuto decodes an artifact file in either encoding: a wire
+// frame (binary snapshots) or the JSON document of the pre-binary era. The
+// sniff is unambiguous — JSON artifacts start with '{', frames with the
+// magic bytes "ARW1".
+func DecodeArtifactAuto(data []byte) (*election.Compiled, error) {
+	if IsFrame(data) {
+		return DecodeArtifactFrame(data)
+	}
+	return election.UnmarshalCompiled(data)
+}

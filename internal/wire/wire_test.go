@@ -1,0 +1,360 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"anonradio/internal/canonical"
+	"anonradio/internal/config"
+	"anonradio/internal/election"
+)
+
+func testArtifacts(t testing.TB) []*election.Compiled {
+	t.Helper()
+	var out []*election.Compiled
+	for _, cfg := range []*config.Config{
+		config.SpanFamilyH(2),
+		config.LineFamilyG(2),
+		config.StaggeredClique(8),
+		config.EarlyCenterStar(6, 2),
+	} {
+		d, err := election.BuildDedicated(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		out = append(out, d.Compile())
+	}
+	return out
+}
+
+// TestFrameRoundTrip pins the frame layer: encode/decode identity, the
+// split into payload and rest, and every corruption class.
+func TestFrameRoundTrip(t *testing.T) {
+	m := ElectRequest{Key: "demo"}
+	buf := AppendElectRequestFrame(nil, &m)
+	if len(buf) != HeaderSize+m.EncodedSize() {
+		t.Fatalf("frame length %d, want header %d + payload %d", len(buf), HeaderSize, m.EncodedSize())
+	}
+	// A second frame appended to the same buffer decodes as rest.
+	buf = AppendErrorFrame(buf, "boom")
+
+	typ, payload, rest, err := DecodeFrame(buf)
+	if err != nil || typ != FrameElectRequest {
+		t.Fatalf("DecodeFrame: %v type %s", err, typ)
+	}
+	var got ElectRequest
+	if err := got.DecodeFrom(payload); err != nil || got != m {
+		t.Fatalf("decode: %v %+v", err, got)
+	}
+	typ, payload, rest, err = DecodeFrame(rest)
+	if err != nil || typ != FrameError || len(rest) != 0 {
+		t.Fatalf("second frame: %v type %s rest %d", err, typ, len(rest))
+	}
+	var em ErrorMessage
+	if err := em.DecodeFrom(payload); err != nil || em.Error != "boom" {
+		t.Fatalf("error frame: %v %+v", err, em)
+	}
+
+	one := AppendElectRequestFrame(nil, &m)
+	for _, tc := range []struct {
+		name    string
+		corrupt func([]byte) []byte
+		want    error
+	}{
+		{"short header", func(b []byte) []byte { return b[:HeaderSize-1] }, ErrShortFrame},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-1] }, ErrShortFrame},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrBadMagic},
+		{"flipped type", func(b []byte) []byte { b[4] ^= 0x40; return b }, ErrChecksum},
+		{"flipped payload", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, ErrChecksum},
+		{"giant length", func(b []byte) []byte {
+			b[5], b[6], b[7], b[8] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}, ErrFrameTooBig},
+	} {
+		b := tc.corrupt(append([]byte(nil), one...))
+		if _, _, _, err := DecodeFrame(b); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestMessageRoundTrips checks, for every serve-path message, that
+// EncodedSize is exact and DecodeFrom restores the value.
+func TestMessageRoundTrips(t *testing.T) {
+	artifact := testArtifacts(t)[0]
+	outcomes := []Outcome{
+		{Key: "a", Elected: true, Leader: 3, Rounds: 41},
+		{Key: "b", Elected: false, Leader: -1, Rounds: 0, Error: "service: no leader"},
+		{Key: "", Elected: false, Leader: -1, Rounds: -7, Error: ""},
+	}
+
+	check := func(name string, frame []byte, size int, decode func(p []byte) (any, error), want any) {
+		t.Helper()
+		typ, payload, rest, err := DecodeFrame(frame)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("%s: frame: %v rest %d", name, err, len(rest))
+		}
+		if size >= 0 && len(payload) != size {
+			t.Fatalf("%s: EncodedSize %d but payload is %d bytes", name, size, len(payload))
+		}
+		got, err := decode(payload)
+		if err != nil {
+			t.Fatalf("%s: decode (%s): %v", name, typ, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: round trip diverged:\n got %+v\nwant %+v", name, got, want)
+		}
+		// Truncating the payload anywhere must fail, never succeed silently.
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := decode(payload[:cut]); err == nil {
+				t.Fatalf("%s: decode of %d/%d payload bytes succeeded", name, cut, len(payload))
+			}
+		}
+	}
+
+	er := ElectRequest{Key: "demo"}
+	check("elect-request", AppendElectRequestFrame(nil, &er), er.EncodedSize(), func(p []byte) (any, error) {
+		var m ElectRequest
+		err := m.DecodeFrom(p)
+		return m, err
+	}, er)
+
+	for i := range outcomes {
+		o := outcomes[i]
+		check("outcome", AppendOutcomeFrame(nil, &o), o.EncodedSize(), func(p []byte) (any, error) {
+			var m Outcome
+			err := m.DecodeFrom(p)
+			return m, err
+		}, o)
+	}
+
+	br := BatchRequest{Keys: []string{"a", "b", "c", ""}}
+	check("batch-request", AppendBatchRequestFrame(nil, &br), br.EncodedSize(), func(p []byte) (any, error) {
+		var m BatchRequest
+		err := m.DecodeFrom(p)
+		return m, err
+	}, br)
+
+	bres := BatchResponse{Outcomes: outcomes, Failures: 2}
+	check("batch-response", AppendBatchResponseFrame(nil, &bres), bres.EncodedSize(), func(p []byte) (any, error) {
+		var m BatchResponse
+		err := m.DecodeFrom(p)
+		return m, err
+	}, bres)
+
+	rreq := RegisterRequest{Key: "k", Config: "clique 3", Async: true, Artifact: artifact}
+	frame, err := AppendRegisterRequestFrame(nil, &rreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("register-request", frame, -1, func(p []byte) (any, error) {
+		var m RegisterRequest
+		err := m.DecodeFrom(p)
+		return m, err
+	}, rreq)
+
+	rresp := RegisterResponse{Key: "k", Source: "artifact", Status: "pending", StatusURL: "/v1/admissions/k"}
+	check("register-response", AppendRegisterResponseFrame(nil, &rresp), rresp.EncodedSize(), func(p []byte) (any, error) {
+		var m RegisterResponse
+		err := m.DecodeFrom(p)
+		return m, err
+	}, rresp)
+
+	admit := WALAdmit{Key: "k", Config: "clique 3", Artifact: artifact}
+	frame, err = AppendWALAdmitFrame(nil, &admit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("wal-admit", frame, -1, func(p []byte) (any, error) {
+		var m WALAdmit
+		err := m.DecodeFrom(p)
+		return m, err
+	}, admit)
+
+	evict := WALEvict{Key: "k"}
+	check("wal-evict", AppendWALEvictFrame(nil, &evict), -1, func(p []byte) (any, error) {
+		var m WALEvict
+		err := m.DecodeFrom(p)
+		return m, err
+	}, evict)
+}
+
+// TestArtifactRoundTrip is the heart of the binary snapshot format: for
+// real compiled artifacts, the encoding is exact-size, lossless, and stable
+// (re-encoding a decoded artifact is bit-identical).
+func TestArtifactRoundTrip(t *testing.T) {
+	for _, c := range testArtifacts(t) {
+		size, err := ArtifactSize(c)
+		if err != nil {
+			t.Fatalf("%s: size: %v", c.ConfigName, err)
+		}
+		payload, err := AppendArtifact(nil, c)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.ConfigName, err)
+		}
+		if len(payload) != size {
+			t.Fatalf("%s: ArtifactSize %d but encoded %d bytes", c.ConfigName, size, len(payload))
+		}
+		got, err := DecodeArtifact(payload)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c.ConfigName, err)
+		}
+		if !reflect.DeepEqual(got, c) {
+			t.Fatalf("%s: round trip diverged:\n got %+v\nwant %+v", c.ConfigName, got, c)
+		}
+		again, err := AppendArtifact(nil, got)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", c.ConfigName, err)
+		}
+		if !bytes.Equal(payload, again) {
+			t.Fatalf("%s: re-encode not bit-identical", c.ConfigName)
+		}
+
+		// The framed form round-trips through the auto-detecting decoder,
+		// and so does the JSON era's file content.
+		framed, err := AppendArtifactFrame(nil, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromFrame, err := DecodeArtifactAuto(framed)
+		if err != nil || !reflect.DeepEqual(fromFrame, c) {
+			t.Fatalf("%s: auto decode of frame: %v", c.ConfigName, err)
+		}
+		jsonData, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromJSON, err := DecodeArtifactAuto(jsonData)
+		if err != nil {
+			t.Fatalf("%s: auto decode of JSON: %v", c.ConfigName, err)
+		}
+		if fromJSON.ArtifactDigest != c.ArtifactDigest || !fromJSON.PhaseTable.Equal(c.PhaseTable) {
+			t.Fatalf("%s: JSON auto decode diverged", c.ConfigName)
+		}
+
+		if len(framed)*3 > len(jsonData) {
+			t.Logf("%s: binary %d bytes vs compact JSON %d bytes (%.1fx)",
+				c.ConfigName, len(framed), len(jsonData), float64(len(jsonData))/float64(len(framed)))
+		}
+	}
+}
+
+// TestArtifactPlanRange: phase-table rows outside int32 cannot encode into
+// the fixed-width rows and must error instead of truncating.
+func TestArtifactPlanRange(t *testing.T) {
+	c := testArtifacts(t)[0]
+	c.PhaseTable.Plans[0].Phase = 1 << 40
+	if _, err := ArtifactSize(c); !errors.Is(err, ErrRange) {
+		t.Fatalf("size: got %v, want ErrRange", err)
+	}
+	if _, err := AppendArtifact(nil, c); !errors.Is(err, ErrRange) {
+		t.Fatalf("encode: got %v, want ErrRange", err)
+	}
+	if _, err := AppendArtifactFrame(nil, c); !errors.Is(err, ErrRange) {
+		t.Fatalf("frame: got %v, want ErrRange", err)
+	}
+}
+
+// TestArtifactVersionGate: a future version byte is refused, not misparsed.
+func TestArtifactVersionGate(t *testing.T) {
+	c := testArtifacts(t)[0]
+	payload, err := AppendArtifact(nil, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = artifactVersion + 1
+	if _, err := DecodeArtifact(payload); err == nil {
+		t.Fatal("future artifact version decoded")
+	}
+}
+
+// TestPlanPacking pins the int32 two's-complement row packing, including
+// the -1 terminate marker.
+func TestPlanPacking(t *testing.T) {
+	for _, p := range []canonical.RoundPlan{
+		{Phase: 1, Block: -1},
+		{Phase: 3, Block: 0},
+		{Phase: 7, Block: 12},
+		{Phase: 1 << 30, Block: -(1 << 30)},
+	} {
+		x, err := packPlan(p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if got := unpackPlan(x); got != p {
+			t.Fatalf("plan %+v packed to %x unpacked to %+v", p, x, got)
+		}
+	}
+}
+
+func BenchmarkWireEncodeArtifact(b *testing.B) {
+	c := testArtifacts(b)[2] // clique-8: the largest test artifact
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendArtifactFrame(buf[:0], c)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkWireDecodeArtifact(b *testing.B) {
+	c := testArtifacts(b)[2]
+	buf, err := AppendArtifactFrame(nil, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jsonData, _ := json.MarshalIndent(c, "", "  ")
+	b.Logf("binary %d bytes, indented JSON %d bytes", len(buf), len(jsonData))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeArtifactFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecodeArtifactJSON is the baseline the binary decoder is
+// measured against (the JSON snapshot restore parse).
+func BenchmarkWireDecodeArtifactJSON(b *testing.B) {
+	c := testArtifacts(b)[2]
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := election.UnmarshalCompiled(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireOutcomeRoundTrip(b *testing.B) {
+	o := Outcome{Key: "clique-64", Elected: true, Leader: 17, Rounds: 353}
+	var buf []byte
+	var m Outcome
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendOutcomeFrame(buf[:0], &o)
+		_, payload, _, err := DecodeFrame(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.DecodeFrom(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
