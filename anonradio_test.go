@@ -161,7 +161,7 @@ func TestRunExperimentSingle(t *testing.T) {
 
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 17 || ids[0] != "E1" || ids[15] != "E16" || ids[16] != "A1" {
+	if len(ids) != 18 || ids[0] != "E1" || ids[16] != "E17" || ids[17] != "A1" {
 		t.Fatalf("experiment ids wrong: %v", ids)
 	}
 }

@@ -25,6 +25,7 @@
 //	           [-shutdown-timeout 10s] [-wal-dir DIR]
 //	           [-wal-sync always|batch|off] [-checkpoint-every 1m]
 //	           [-snapshot-encoding binary|json] [-wal-encoding binary|json]
+//	           [-work-stealing=false]
 //
 // A minimal session against a running daemon:
 //
@@ -76,6 +77,7 @@ func run() int {
 		checkpointEvery = flag.Duration("checkpoint-every", time.Minute, "background checkpoint interval: snapshot the registry and truncate the journal (0 disables the timer)")
 		snapshotEnc     = flag.String("snapshot-encoding", "binary", "artifact encoding of snapshots and checkpoints this daemon writes: binary (compact wire frames) or json (elect -compiled compatible); restore auto-detects either")
 		walEnc          = flag.String("wal-encoding", "binary", "journal record encoding this daemon writes: binary or json; replay auto-detects either, so mixed-era journals boot unchanged")
+		workStealing    = flag.Bool("work-stealing", true, "let idle shard workers steal queued read-only elections from loaded siblings (hot-key relief); mutations always stay on the owning shard")
 	)
 	flag.Parse()
 	log.SetPrefix("anonradiod: ")
@@ -103,6 +105,7 @@ func run() int {
 		AdmissionQueue:       *admissionQueue,
 		TrustCompiledDigests: *trust,
 		SnapshotEncoding:     snapEncoding,
+		WorkStealing:         service.Bool(*workStealing),
 	}
 	var reg *service.Registry
 	if *walDir != "" {
@@ -119,9 +122,9 @@ func run() int {
 			log.Printf("opening durable registry at %s: %v", *walDir, err)
 			return 1
 		}
-		log.Printf("recovered %s in %s: checkpoint %d entries, journal %d admits / %d evicts across %d segments (sync=%s, checkpoint every %s, wal-encoding=%s, snapshot-encoding=%s)",
+		log.Printf("recovered %s in %s: checkpoint %d entries, journal %d admits / %d evicts / %d compacted across %d segments (sync=%s, checkpoint every %s, wal-encoding=%s, snapshot-encoding=%s)",
 			*walDir, time.Since(start).Round(time.Millisecond),
-			report.Checkpoint.Entries, report.Admits, report.Evicts,
+			report.Checkpoint.Entries, report.Admits, report.Evicts, report.Compacted,
 			report.Journal.Segments, policy, *checkpointEvery, walEncoding, snapEncoding)
 		if !report.Clean() {
 			for _, f := range report.Journal.Faults {

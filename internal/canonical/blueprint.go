@@ -29,6 +29,14 @@ type Blueprint struct {
 // whether the table is compiled from the lists (FromLists) or adopted from a
 // digest-verified artifact (FromCompiled).
 func newSkeleton(sigma int, lists []core.List) (*DRIP, error) {
+	return newSkeletonInto(nil, sigma, lists)
+}
+
+// newSkeletonInto is newSkeleton recycling prev's struct and phase-end
+// array; prev's compiled table (if any) is left in place for
+// compileTableInto to recycle in turn. Validation happens before prev is
+// touched, so a rejected rebuild leaves prev intact.
+func newSkeletonInto(prev *DRIP, sigma int, lists []core.List) (*DRIP, error) {
 	if sigma < 0 {
 		return nil, fmt.Errorf("canonical: negative span %d", sigma)
 	}
@@ -43,8 +51,18 @@ func newSkeleton(sigma int, lists []core.List) (*DRIP, error) {
 			return nil, fmt.Errorf("canonical: list L_%d has no entries", j+1)
 		}
 	}
-	d := &DRIP{Sigma: sigma, Lists: lists}
-	d.phaseEnds = make([]int, len(lists)+1)
+	d := prev
+	if d == nil {
+		d = &DRIP{}
+	}
+	d.Sigma = sigma
+	d.Lists = lists
+	if cap(d.phaseEnds) < len(lists)+1 {
+		d.phaseEnds = make([]int, len(lists)+1)
+	} else {
+		d.phaseEnds = d.phaseEnds[:len(lists)+1]
+		d.phaseEnds[0] = 0
+	}
 	blockLen := 2*sigma + 1
 	for j := 1; j <= len(lists); j++ {
 		if lists[j-1].Terminate {

@@ -58,13 +58,27 @@ type DRIP struct {
 // (every node terminates after the last phase), it just cannot elect a
 // leader.
 func New(report *core.Report) (*DRIP, error) {
+	return NewInto(nil, report)
+}
+
+// NewInto is New recycling a previous protocol's memory — the DRIP struct,
+// its phase-end array and its compiled phase table (plans, match rows,
+// expectation bytes). The rebuilt protocol is identical to a freshly built
+// one; only the provenance of its memory changes. prev must not be used
+// after the call; prev == nil is exactly New.
+func NewInto(prev *DRIP, report *core.Report) (*DRIP, error) {
 	if report == nil {
 		return nil, fmt.Errorf("canonical: nil report")
 	}
 	if len(report.Lists) == 0 {
 		return nil, fmt.Errorf("canonical: report has no lists")
 	}
-	return FromLists(report.Config.Span(), report.Lists)
+	d, err := newSkeletonInto(prev, report.Config.Span(), report.Lists)
+	if err != nil {
+		return nil, err
+	}
+	d.table = d.compileTableInto(d.table)
+	return d, nil
 }
 
 // Phases returns the number of phases P_1 .. P_jterm (including the final

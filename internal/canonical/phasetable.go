@@ -92,13 +92,32 @@ type PhaseTable struct {
 // compileTable builds the phase table of a DRIP whose Lists and phaseEnds
 // are already validated by FromLists.
 func (d *DRIP) compileTable() *PhaseTable {
+	return d.compileTableInto(nil)
+}
+
+// compileTableInto is compileTable recycling a previous table's memory: the
+// struct, the plan array, and every match row with its expectation bytes.
+// The compiled content is identical to a fresh compile; prev == nil is
+// exactly compileTable.
+func (d *DRIP) compileTableInto(prev *PhaseTable) *PhaseTable {
 	blockLen := 2*d.Sigma + 1
-	pt := &PhaseTable{Sigma: d.Sigma}
+	pt := prev
+	if pt == nil {
+		pt = &PhaseTable{}
+	}
+	pt.Sigma = d.Sigma
+	// Truncating Matches to zero leaves the previous rows in the spare
+	// capacity; growth within capacity below recovers them slot by slot.
+	pt.Matches = pt.Matches[:0]
 
 	// Round plans: replay the reference Act's round arithmetic once per
 	// local round instead of once per call.
 	term := d.TerminationRound()
-	pt.Plans = make([]RoundPlan, term)
+	if cap(pt.Plans) < term {
+		pt.Plans = make([]RoundPlan, term)
+	} else {
+		pt.Plans = pt.Plans[:term]
+	}
 	for i := 1; i <= term; i++ {
 		j := d.phaseOf(i)
 		plan := RoundPlan{Phase: j}
@@ -118,30 +137,51 @@ func (d *DRIP) compileTable() *PhaseTable {
 	// Matching rows: expand every list entry's label into the exact
 	// per-round expectations of historyMatchesLabel.
 	for jj := 2; jj <= len(d.Lists); jj++ {
-		cur := d.Lists[jj-1]  // L_jj
-		prev := d.Lists[jj-2] // L_{jj-1}
-		pm := PhaseMatch{Start: d.phaseEnds[jj-2] + 1}
-		if !cur.Terminate && !prev.Terminate {
-			window := prev.NumClasses() * blockLen
-			pm.Rows = make([]MatchRow, len(cur.Entries))
-			for k, entry := range cur.Entries {
-				row := MatchRow{OldClass: entry.OldClass, Expect: make([]byte, window)}
-				for a := 1; a <= prev.NumClasses(); a++ {
-					for b := 1; b <= blockLen; b++ {
-						pos := (a-1)*blockLen + b - 1
-						if triple, found := entry.Label.Find(a, b); found {
-							if triple.Multi {
-								row.Expect[pos] = ExpectNoise
-							} else {
-								row.Expect[pos] = ExpectMessage
-							}
+		cur := d.Lists[jj-1]      // L_jj
+		prevList := d.Lists[jj-2] // L_{jj-1}
+		if len(pt.Matches) < cap(pt.Matches) {
+			pt.Matches = pt.Matches[:len(pt.Matches)+1]
+		} else {
+			pt.Matches = append(pt.Matches, PhaseMatch{})
+		}
+		pm := &pt.Matches[len(pt.Matches)-1]
+		pm.Start = d.phaseEnds[jj-2] + 1
+		if cur.Terminate || prevList.Terminate {
+			pm.Rows = nil
+			continue
+		}
+		window := prevList.NumClasses() * blockLen
+		rows := pm.Rows
+		if cap(rows) < len(cur.Entries) {
+			grown := make([]MatchRow, len(cur.Entries))
+			copy(grown, rows[:cap(rows)]) // keep recycled Expect buffers
+			rows = grown
+		} else {
+			rows = rows[:len(cur.Entries)]
+		}
+		for k, entry := range cur.Entries {
+			expect := rows[k].Expect
+			if cap(expect) < window {
+				expect = make([]byte, window)
+			} else {
+				expect = expect[:window]
+				clear(expect)
+			}
+			for a := 1; a <= prevList.NumClasses(); a++ {
+				for b := 1; b <= blockLen; b++ {
+					pos := (a-1)*blockLen + b - 1
+					if triple, found := entry.Label.Find(a, b); found {
+						if triple.Multi {
+							expect[pos] = ExpectNoise
+						} else {
+							expect[pos] = ExpectMessage
 						}
 					}
 				}
-				pm.Rows[k] = row
 			}
+			rows[k] = MatchRow{OldClass: entry.OldClass, Expect: expect}
 		}
-		pt.Matches = append(pt.Matches, pm)
+		pm.Rows = rows
 	}
 	return pt
 }

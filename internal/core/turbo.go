@@ -118,6 +118,19 @@ func ClassifyTurbo(cfg *config.Config, opts ClassifyOptions) (*Report, error) {
 // arena. The returned Report owns all of its memory: it remains valid after
 // the engine is reused for another configuration.
 func (t *Turbo) Classify(cfg *config.Config, opts ClassifyOptions) (*Report, error) {
+	return t.ClassifyInto(nil, cfg, opts)
+}
+
+// ClassifyInto is Classify recycling the memory of a previous Report —
+// typically the retained report of an evicted or displaced configuration —
+// for the new one: the Report struct itself, its list and snapshot slices,
+// every per-list entry slice and every label. A run over a configuration of
+// the same shape as prev's reaches a steady state of zero heap allocations.
+// prev must not be used after the call (its buffers now belong to the
+// result); prev == nil is exactly Classify. The verdicts, lists, labels and
+// snapshots are bit-identical to a fresh run's — reuse changes where the
+// memory comes from, never what it holds.
+func (t *Turbo) ClassifyInto(prev *Report, cfg *config.Config, opts ClassifyOptions) (*Report, error) {
 	if cfg == nil {
 		return nil, fmt.Errorf("core: nil configuration")
 	}
@@ -127,18 +140,31 @@ func (t *Turbo) Classify(cfg *config.Config, opts ClassifyOptions) (*Report, err
 	cfg = cfg.Normalized()
 	if cfg.Span() > maxTurboSpan {
 		// Rounds would overflow the packed layout; delegate to the hash
-		// implementation, which has no span limit.
+		// implementation, which has no span limit (and no reuse — spans
+		// this size never churn).
 		return ClassifyFast(cfg)
 	}
 	n := cfg.N()
 	sigma := int32(cfg.Span())
 	t.reset(cfg)
 
-	report := &Report{Config: cfg, Leader: -1}
-	if opts.RecordSnapshots {
-		report.Snapshots = append(report.Snapshots, t.snapshot(t.classes, 1, false))
+	report := prev
+	if report == nil {
+		report = &Report{}
 	}
-	report.Lists = append(report.Lists, List{Entries: []ListEntry{{OldClass: 1, Label: nil}}})
+	// Reset the report while keeping the list/snapshot backing: truncating
+	// to length zero leaves the previous run's List and Snapshot values in
+	// the spare capacity, where nextList/nextSnapshot recover their entry
+	// and label buffers slot by slot.
+	*report = Report{Config: cfg, Leader: -1, Lists: report.Lists[:0], Snapshots: report.Snapshots[:0]}
+	if opts.RecordSnapshots {
+		s := nextSnapshot(report)
+		*s = t.snapshotInto(*s, t.classes, 1, false)
+	}
+	l0 := nextList(report)
+	l0.Terminate = false
+	l0.Entries = growKeep(l0.Entries, 1)
+	l0.Entries[0] = ListEntry{OldClass: 1, Label: nil}
 
 	numClasses := int32(1)
 	maxIter := (n + 1) / 2
@@ -151,12 +177,14 @@ func (t *Turbo) Classify(cfg *config.Config, opts ClassifyOptions) (*Report, err
 		noChange := numClasses == oldCount
 
 		if singleton != 0 || noChange {
-			report.Lists = append(report.Lists, List{Terminate: true})
+			lt := nextList(report)
+			lt.Terminate = true
+			lt.Entries = nil
 			// Lean mode keeps the final partition but not its labels: the
 			// callers that opt out of snapshots only consume the verdict,
 			// the class structure and the lists.
-			final := t.snapshot(t.next, numClasses, opts.RecordSnapshots)
-			report.Snapshots = append(report.Snapshots, final)
+			final := nextSnapshot(report)
+			*final = t.snapshotInto(*final, t.next, numClasses, opts.RecordSnapshots)
 			if singleton != 0 {
 				report.Decision = Feasible
 				report.LeaderClass = int(singleton)
@@ -175,22 +203,59 @@ func (t *Turbo) Classify(cfg *config.Config, opts ClassifyOptions) (*Report, err
 		// Build L_{i+1}: for each class of the refined partition, the pair
 		// (class of its representative before this iteration, label assigned
 		// to the representative by this iteration).
-		entries := make([]ListEntry, numClasses)
+		l := nextList(report)
+		l.Terminate = false
+		entries := growKeep(l.Entries, int(numClasses))
 		for k := int32(1); k <= numClasses; k++ {
 			rep := t.reps[k-1]
 			entries[k-1] = ListEntry{
 				OldClass: int(t.classes[rep]),
-				Label:    t.unpackLabel(rep),
+				Label:    t.unpackLabelInto(entries[k-1].Label, rep),
 			}
 		}
-		report.Lists = append(report.Lists, List{Entries: entries})
+		l.Entries = entries
 
 		if opts.RecordSnapshots {
-			report.Snapshots = append(report.Snapshots, t.snapshot(t.next, numClasses, true))
+			s := nextSnapshot(report)
+			*s = t.snapshotInto(*s, t.next, numClasses, true)
 		}
 		t.classes, t.next = t.next, t.classes
 	}
 	return nil, fmt.Errorf("core: turbo classifier did not converge within %d iterations on %s", maxIter, cfg)
+}
+
+// nextList extends report.Lists by one slot and returns it. Growth within
+// capacity re-exposes the List value a previous run left in the slot, so
+// its entry slice and labels get recycled by the caller.
+func nextList(report *Report) *List {
+	if len(report.Lists) < cap(report.Lists) {
+		report.Lists = report.Lists[:len(report.Lists)+1]
+	} else {
+		report.Lists = append(report.Lists, List{})
+	}
+	return &report.Lists[len(report.Lists)-1]
+}
+
+// nextSnapshot is nextList for the snapshot slice.
+func nextSnapshot(report *Report) *Snapshot {
+	if len(report.Snapshots) < cap(report.Snapshots) {
+		report.Snapshots = report.Snapshots[:len(report.Snapshots)+1]
+	} else {
+		report.Snapshots = append(report.Snapshots, Snapshot{})
+	}
+	return &report.Snapshots[len(report.Snapshots)-1]
+}
+
+// growKeep returns a length-n slice reusing s's backing array, carrying the
+// spare-capacity elements (and the buffers they hold) over on reallocation
+// so recycled labels survive a growth step.
+func growKeep[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]T, n)
+	copy(ns, s[:cap(s)])
+	return ns
 }
 
 // reset prepares the scratch arena for a run on cfg: Init-Aug state (every
@@ -367,29 +432,41 @@ func (t *Turbo) singletonClass(numClasses int32) int32 {
 
 // unpackLabel materializes node v's label from the packed arena.
 func (t *Turbo) unpackLabel(v int32) Label {
+	return t.unpackLabelInto(nil, v)
+}
+
+// unpackLabelInto materializes node v's label into dst's backing array
+// (grown when too small). An empty label is nil, exactly as the baseline
+// partitioner leaves it — never a zero-length slice.
+func (t *Turbo) unpackLabelInto(dst Label, v int32) Label {
 	packed := t.lab[t.labOff[v]:t.labOff[v+1]]
 	if len(packed) == 0 {
 		// A node that hears nothing keeps the nil label, exactly as the
 		// baseline partitioner leaves it.
 		return nil
 	}
-	l := make(Label, len(packed))
-	for i, p := range packed {
-		l[i] = unpackTriple(p)
+	if cap(dst) < len(packed) {
+		dst = make(Label, len(packed))
+	} else {
+		dst = dst[:len(packed)]
 	}
-	return l
+	for i, p := range packed {
+		dst[i] = unpackTriple(p)
+	}
+	return dst
 }
 
-// snapshot materializes the partition in the given class array as a
-// heap-owned Snapshot. withLabels selects whether the labels of the current
-// iteration are attached (they are nil in snapshot 0, matching Init-Aug).
-func (t *Turbo) snapshot(classes []int32, numClasses int32, withLabels bool) Snapshot {
+// snapshotInto materializes the partition in the given class array as a
+// heap-owned Snapshot, recycling prev's buffers. withLabels selects whether
+// the labels of the current iteration are attached (they are nil in
+// snapshot 0, matching Init-Aug).
+func (t *Turbo) snapshotInto(prev Snapshot, classes []int32, numClasses int32, withLabels bool) Snapshot {
 	n := len(classes)
 	s := Snapshot{
-		Classes:    make([]int, n),
-		Labels:     make([]Label, n),
+		Classes:    arena.Grow(prev.Classes, n),
+		Labels:     growKeep(prev.Labels, n),
 		NumClasses: int(numClasses),
-		Reps:       make([]int, numClasses),
+		Reps:       arena.Grow(prev.Reps, int(numClasses)),
 	}
 	for v, c := range classes {
 		s.Classes[v] = int(c)
@@ -399,7 +476,11 @@ func (t *Turbo) snapshot(classes []int32, numClasses int32, withLabels bool) Sna
 	}
 	if withLabels {
 		for v := int32(0); v < int32(n); v++ {
-			s.Labels[v] = t.unpackLabel(v)
+			s.Labels[v] = t.unpackLabelInto(s.Labels[v], v)
+		}
+	} else {
+		for v := range s.Labels {
+			s.Labels[v] = nil
 		}
 	}
 	return s

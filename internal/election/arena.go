@@ -1,6 +1,9 @@
 package election
 
 import (
+	"fmt"
+
+	"anonradio/internal/canonical"
 	"anonradio/internal/config"
 	"anonradio/internal/core"
 	"anonradio/internal/radio"
@@ -44,6 +47,43 @@ func BuildDedicatedInto(a *BuildArena, cfg *config.Config) (*Dedicated, error) {
 		return nil, err
 	}
 	return buildOnSimulator(report, a.simulator, false)
+}
+
+// RebuildInto is BuildDedicatedInto additionally recycling a previously
+// built algorithm's retained memory: the classifier report (lists, labels,
+// snapshots), the canonical protocol (phase ends, compiled phase table),
+// the decision function's leader history, the algorithm name and the pooled
+// serving simulator, plus the Dedicated struct itself. Re-admitting a
+// configuration of the same shape as prev's therefore approaches zero heap
+// allocations per build (TestRebuildIntoAllocs pins it), while the built
+// algorithm — verdict, lists, table, designated leader, round bounds — is
+// bit-identical to a fresh build's.
+//
+// prev must be exclusively owned by the caller (displaced or evicted, with
+// no outstanding aliases such as un-encoded snapshot artifacts) and must
+// not be used after the call, whether it succeeds or fails. A nil prev, or
+// one without a retained report (artifact-loaded algorithms), falls back to
+// BuildDedicatedInto.
+func (a *BuildArena) RebuildInto(prev *Dedicated, cfg *config.Config) (*Dedicated, error) {
+	if a == nil || prev == nil || prev.Report == nil {
+		return BuildDedicatedInto(a, cfg)
+	}
+	report, err := a.turbo.ClassifyInto(prev.Report, cfg, core.ClassifyOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if !report.Feasible() {
+		return nil, fmt.Errorf("%w: %s", ErrInfeasible, report.Config)
+	}
+	dg, err := canonical.NewInto(prev.DRIP, report)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := a.simulator(report.Config)
+	if err != nil {
+		return nil, err
+	}
+	return finishBuildInto(prev, report, dg, sim)
 }
 
 // simulator returns the arena's canonical-run simulator rebound to cfg,

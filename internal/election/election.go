@@ -25,6 +25,7 @@ import (
 	"anonradio/internal/config"
 	"anonradio/internal/core"
 	"anonradio/internal/drip"
+	"anonradio/internal/history"
 	"anonradio/internal/radio"
 )
 
@@ -172,6 +173,67 @@ func finishBuild(report *core.Report, dg *canonical.DRIP, runSim, keepSim *radio
 		sim:            keepSim,
 	}
 	return d, nil
+}
+
+// finishBuildInto is finishBuild for the rebuild-in-place path: report and
+// dg are already rebuilt from prev's recycled memory, and the remaining
+// retained pieces — the decision target's history buffer, the algorithm
+// name, the pooled serving simulator and the Dedicated struct itself — are
+// recycled here. The canonical run executes on runSim (the arena's
+// simulator), exactly as in the fresh arena build.
+func finishBuildInto(prev *Dedicated, report *core.Report, dg *canonical.DRIP, runSim *radio.Simulator) (*Dedicated, error) {
+	cfg := report.Config
+	res, err := runSim.Run(dg, radio.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("election: canonical DRIP simulation failed: %w", err)
+	}
+	leader := report.Leader
+	var targetBuf history.Vector
+	if match, ok := prev.Algorithm.Decision.(drip.HistoryMatchDecision); ok {
+		targetBuf = match.Target
+	}
+	target := append(targetBuf[:0], res.Histories[leader]...)
+
+	// Sanity check (Lemma 3.11): the designated leader's history must be
+	// unique among all nodes.
+	for v := 0; v < cfg.N(); v++ {
+		if v != leader && res.Histories[v].Equal(target) {
+			return nil, fmt.Errorf("election: node %d shares the designated leader's history; classifier/DRIP mismatch", v)
+		}
+	}
+
+	// Keep the previous algorithm name when it already spells the new one
+	// (the comparison is allocation-free; re-admitting the same key with a
+	// same-named configuration is the common churn).
+	name := prev.Algorithm.Name
+	const prefix = "canonical-"
+	if len(name) != len(prefix)+len(cfg.Name) || name[:len(prefix)] != prefix || name[len(prefix):] != cfg.Name {
+		name = prefix + cfg.Name
+	}
+
+	// Rebind the previous pooled serving simulator to the new
+	// configuration; if it will not rebind, drop it (a fresh one is
+	// created lazily on first Elect).
+	sim := prev.sim
+	if sim != nil && sim.Reset(cfg) != nil {
+		sim = nil
+	}
+
+	*prev = Dedicated{
+		Config: cfg,
+		Report: report,
+		DRIP:   dg,
+		Algorithm: drip.Algorithm{
+			Name:     name,
+			Protocol: dg,
+			Decision: drip.HistoryMatchDecision{Target: target},
+		},
+		ExpectedLeader: leader,
+		LocalRounds:    dg.TerminationRound(),
+		RoundBound:     cfg.Span() + dg.TerminationRound() + 1,
+		sim:            sim,
+	}
+	return prev, nil
 }
 
 // Elect executes the dedicated algorithm on its configuration with the given

@@ -82,6 +82,7 @@ func All() []Experiment {
 		{ID: "E14", Name: "Admission isolation (election latency during same-shard builds)", Run: E14AdmissionIsolation},
 		{ID: "E15", Name: "Durability cost (admission throughput and recovery per fsync policy)", Run: E15DurabilityCost},
 		{ID: "E16", Name: "Wire encoding cost (binary frames vs JSON serving and snapshots)", Run: E16WireEncoding},
+		{ID: "E17", Name: "Hot-shard relief (work stealing under zipf skew; rebuild-in-place churn)", Run: E17HotShardRelief},
 		{ID: "A1", Name: "Ablation: Refine implementation (representative scan vs hashing)", Run: A1RefineAblation},
 	}
 }

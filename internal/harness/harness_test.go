@@ -30,8 +30,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(all))
+	if len(all) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

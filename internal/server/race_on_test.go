@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled relaxes allocation budgets: the race detector itself
+// allocates on instrumented paths.
+const raceEnabled = true

@@ -48,7 +48,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"net/url"
@@ -252,6 +251,15 @@ type ShardStats struct {
 	Failures int64 `json:"failures"`
 	// Rounds accumulates the global rounds of all served elections.
 	Rounds int64 `json:"rounds"`
+	// Stolen counts elections this shard's worker served from a loaded
+	// sibling's queue (see service.Options.WorkStealing).
+	Stolen int64 `json:"stolen"`
+	// StolenFrom counts this shard's elections that were served by an idle
+	// sibling's worker.
+	StolenFrom int64 `json:"stolen_from"`
+	// Queued is the shard's queue depth — requests plus stealable
+	// elections — at the instant the stats were gathered.
+	Queued int `json:"queued"`
 }
 
 // AdmissionStats mirrors service.AdmissionStats with JSON tags: the
@@ -438,61 +446,28 @@ func statusFor(err error) int {
 	}
 }
 
-// decode parses the request body into v strictly — unknown fields (a
-// typo'd "artifcat" would otherwise silently trigger a server-side build)
-// and trailing data are rejected — answering 400 itself on failure, or 413
-// when the body blew the MaxBodyBytes cap.
-func decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		writeDecodeError(w, err)
-		return false
-	}
-	var trailing json.RawMessage
-	switch err := dec.Decode(&trailing); err {
-	case io.EOF:
-		return true
-	case nil:
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "request body carries trailing data after the JSON object"})
-	default:
-		writeDecodeError(w, err)
-	}
-	return false
-}
-
-// writeDecodeError distinguishes an oversized body (413, the cap is a
-// server policy the client can react to) from malformed JSON (400).
-func writeDecodeError(w http.ResponseWriter, err error) {
-	var maxErr *http.MaxBytesError
-	if errors.As(err, &maxErr) {
-		writeJSON(w, http.StatusRequestEntityTooLarge,
-			ErrorResponse{Error: fmt.Sprintf("request body exceeds the %d-byte limit", maxErr.Limit)})
-		return
-	}
-	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("decoding request body: %v", err)})
-}
-
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if binaryRequest(r) {
 		s.handleRegisterBinary(w, r)
 		return
 	}
+	c := jsonCodecs.Get().(*jsonCodec)
+	defer jsonCodecs.Put(c)
 	var req RegisterRequest
-	if !decode(w, r, &req) {
+	if !decodeInto(c, w, r, &req) {
 		return
 	}
 	if req.Key == "" {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing key"})
+		c.write(w, http.StatusBadRequest, ErrorResponse{Error: "missing key"})
 		return
 	}
 	if req.Config == "" {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing config (the text format of internal/config; required even with an artifact)"})
+		c.write(w, http.StatusBadRequest, ErrorResponse{Error: "missing config (the text format of internal/config; required even with an artifact)"})
 		return
 	}
 	cfg, err := config.Unmarshal(req.Config)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("parsing config: %v", err)})
+		c.write(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("parsing config: %v", err)})
 		return
 	}
 	source := "built"
@@ -506,10 +481,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			err = s.reg.RegisterAsync(req.Key, cfg)
 		}
 		if err != nil {
-			s.writeError(w, err)
+			s.writeErrorTo(c, w, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, RegisterResponse{
+		c.write(w, http.StatusAccepted, RegisterResponse{
 			Key: req.Key, Source: source, Status: "pending",
 			// PathEscape keeps keys with reserved characters ('?', '#', '%',
 			// spaces) pollable; the mux unescapes the wildcard back to the key.
@@ -523,10 +498,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		err = s.reg.Register(req.Key, cfg)
 	}
 	if err != nil {
-		s.writeError(w, err)
+		s.writeErrorTo(c, w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RegisterResponse{Key: req.Key, Source: source, Status: "admitted"})
+	c.write(w, http.StatusOK, RegisterResponse{Key: req.Key, Source: source, Status: "admitted"})
 }
 
 func (s *Server) handleRegisterStatus(w http.ResponseWriter, r *http.Request) {
@@ -561,21 +536,23 @@ func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
 		s.handleElectBinary(w, r)
 		return
 	}
+	c := jsonCodecs.Get().(*jsonCodec)
+	defer jsonCodecs.Put(c)
 	var req ElectRequest
-	if !decode(w, r, &req) {
+	if !decodeInto(c, w, r, &req) {
 		return
 	}
 	if req.Key == "" {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing key"})
+		c.write(w, http.StatusBadRequest, ErrorResponse{Error: "missing key"})
 		return
 	}
 	out, err := s.reg.Elect(req.Key)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeErrorTo(c, w, err)
 		return
 	}
 	s.metrics[epElect].elections.Add(1)
-	writeJSON(w, http.StatusOK, outcomeJSON(out))
+	c.write(w, http.StatusOK, outcomeJSON(out))
 }
 
 func (s *Server) handleElectBatch(w http.ResponseWriter, r *http.Request) {
@@ -583,32 +560,36 @@ func (s *Server) handleElectBatch(w http.ResponseWriter, r *http.Request) {
 		s.handleElectBatchBinary(w, r)
 		return
 	}
+	c := jsonCodecs.Get().(*jsonCodec)
+	defer jsonCodecs.Put(c)
 	var req BatchRequest
-	if !decode(w, r, &req) {
+	if !decodeInto(c, w, r, &req) {
 		return
 	}
 	if len(req.Keys) == 0 {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing keys"})
+		c.write(w, http.StatusBadRequest, ErrorResponse{Error: "missing keys"})
 		return
 	}
 	if len(req.Keys) > s.opts.MaxBatchKeys {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("batch of %d keys exceeds the limit of %d", len(req.Keys), s.opts.MaxBatchKeys)})
+		c.write(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("batch of %d keys exceeds the limit of %d", len(req.Keys), s.opts.MaxBatchKeys)})
 		return
 	}
-	outs, err := s.reg.ElectBatch(req.Keys, nil)
+	outs, err := s.reg.ElectBatch(req.Keys, c.outs[:0])
+	c.outs = outs
 	if err != nil && errors.Is(err, service.ErrClosed) {
-		s.writeError(w, err)
+		s.writeErrorTo(c, w, err)
 		return
 	}
-	resp := BatchResponse{Outcomes: make([]Outcome, len(outs))}
-	for i, o := range outs {
-		resp.Outcomes[i] = outcomeJSON(o)
+	resp := BatchResponse{Outcomes: c.jout[:0]}
+	for _, o := range outs {
+		resp.Outcomes = append(resp.Outcomes, outcomeJSON(o))
 		if o.Err != nil {
 			resp.Failures++
 		}
 	}
+	c.jout = resp.Outcomes
 	s.metrics[epElectBatch].elections.Add(int64(len(outs) - resp.Failures))
-	writeJSON(w, http.StatusOK, resp)
+	c.write(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
@@ -672,12 +653,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func shardStatsJSON(s service.ShardStats) ShardStats {
 	return ShardStats{
-		Shard:     s.Shard,
-		Configs:   s.Configs,
-		Builds:    s.Builds,
-		Elections: s.Elections,
-		Failures:  s.Failures,
-		Rounds:    s.Rounds,
+		Shard:      s.Shard,
+		Configs:    s.Configs,
+		Builds:     s.Builds,
+		Elections:  s.Elections,
+		Failures:   s.Failures,
+		Rounds:     s.Rounds,
+		Stolen:     s.Stolen,
+		StolenFrom: s.StolenFrom,
+		Queued:     s.Queued,
 	}
 }
 

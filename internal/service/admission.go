@@ -265,7 +265,16 @@ func (r *Registry) admit(arena *election.BuildArena, job admission) {
 	case job.compiled != nil:
 		d, err = election.Load(job.compiled, job.cfg)
 	default:
-		d, err = election.BuildDedicatedInto(arena, job.cfg)
+		d, err = r.buildDedicated(arena, job.cfg)
+	}
+	// Encode the journal record now, while d is still builder-private: the
+	// moment the shard installs it the algorithm is live, and a concurrent
+	// evict → retire → rebuild on another builder may start recycling the
+	// very report and table memory Compile reads.
+	var walPayload []byte
+	var walErr error
+	if err == nil && r.wal != nil {
+		walPayload, walErr = r.walEncodeAdmit(job.key, d)
 	}
 	// Failures route through the shard too, so its Failures counter stays
 	// the authoritative per-shard account of failed admissions.
@@ -275,18 +284,37 @@ func (r *Registry) admit(arena *election.BuildArena, job admission) {
 	resp := <-reply
 	r.replies.Put(reply)
 	if resp.out.Err == nil && r.wal != nil {
-		// Journal the admission on this builder goroutine — after the
-		// install (so checkpoint rotation can never freeze a record whose
-		// install hasn't happened) and before the acknowledgment (so an
-		// acknowledged admission is as durable as the sync policy
+		// Append the pre-encoded record on this builder goroutine — after
+		// the install (so checkpoint rotation can never freeze a record
+		// whose install hasn't happened) and before the acknowledgment (so
+		// an acknowledged admission is as durable as the sync policy
 		// promises). A failed append fails the admission: the entry serves
 		// until the next reboot, but the caller is told its registration
 		// is not durable.
-		if werr := r.walAppendAdmit(job.key, d); werr != nil {
-			resp.out.Err = fmt.Errorf("service: admission installed but not journaled (will not survive a restart): %w", werr)
+		if walErr == nil {
+			walErr = r.walAppend(walPayload)
+		}
+		if walErr != nil {
+			resp.out.Err = fmt.Errorf("service: admission installed but not journaled (will not survive a restart): %w", walErr)
 		}
 	}
 	r.finish(job, resp)
+}
+
+// buildDedicated builds cfg on the builder's arena, recycling a retired
+// algorithm's memory when the pool has one (rebuild-in-place): re-admission
+// churn then retains report lists, phase tables and decision targets across
+// generations instead of reallocating them per build. Rebuilds mutate
+// memory that snapshot artifacts alias (lists, phase table), so they are
+// fenced behind the snapshot's writer lock.
+func (r *Registry) buildDedicated(arena *election.BuildArena, cfg *config.Config) (*election.Dedicated, error) {
+	prev := r.takeRetired()
+	if prev == nil {
+		return election.BuildDedicatedInto(arena, cfg)
+	}
+	r.snapMu.RLock()
+	defer r.snapMu.RUnlock()
+	return arena.RebuildInto(prev, cfg)
 }
 
 // finish publishes the terminal admission state and releases a synchronous

@@ -94,7 +94,7 @@ const (
 // RecordFault is one journal record recovery could not apply.
 type RecordFault struct {
 	// Index is the record's position in the replay (0-based, counting
-	// applied and skipped records).
+	// applied, compacted and skipped records).
 	Index int
 	// Op and Key identify the record when its envelope decoded.
 	Op, Key string
@@ -115,6 +115,14 @@ type RecoveryReport struct {
 	Journal *wal.Report
 	// Admits and Evicts count journal records applied.
 	Admits, Evicts int
+	// Compacted counts admit records replay skipped because a later evict
+	// for the same key sits in the un-checkpointed journal tail: the entry
+	// is gone again by the end of the replay, so decoding, validating and
+	// installing its artifact would be pure wasted boot work. The paired
+	// evicts still apply (an evict also erases a checkpoint-restored
+	// entry). Compaction is an optimization, not damage — it leaves
+	// Clean() untouched.
+	Compacted int
 	// Skipped lists journal records that were intact at the framing level
 	// but could not be applied (undecodable payload, artifact rejected by
 	// validation, unknown op).
@@ -195,12 +203,22 @@ func Open(opts Options) (*Registry, *RecoveryReport, error) {
 		report.CheckpointRestored = true
 		report.Checkpoint = *rr
 	}
-	jr, err := wal.Replay(w.Dir, func(payload []byte) error {
-		r.applyRecord(payload, report)
-		return nil
-	})
+	compact, jr, err := walScan(w.Dir)
 	report.Journal = jr
 	if err != nil {
+		r.Close()
+		return nil, nil, fmt.Errorf("service: replaying journal: %w", err)
+	}
+	idx := 0
+	if _, err := wal.Replay(w.Dir, func(payload []byte) error {
+		if compact[idx] {
+			report.Compacted++
+		} else {
+			r.applyRecord(payload, report)
+		}
+		idx++
+		return nil
+	}); err != nil {
 		r.Close()
 		return nil, nil, fmt.Errorf("service: replaying journal: %w", err)
 	}
@@ -223,13 +241,95 @@ func Open(opts Options) (*Registry, *RecoveryReport, error) {
 	return r, report, nil
 }
 
+// walScan is the compaction pre-pass over the journal: one cheap replay
+// that peeks only each record's (op, key) envelope — artifacts are never
+// decoded — and pairs every admit with a later evict of the same key. An
+// admit whose key is evicted again later in the un-checkpointed tail is
+// dead on arrival: replaying it would decode, validate and install an
+// artifact only for the later evict record to drop it. The returned set
+// holds the journal positions of those admits; the apply pass skips them
+// and counts them in RecoveryReport.Compacted. Evicts are never compacted
+// (an evict also erases a checkpoint-restored entry, and replaying one is
+// idempotent and nearly free), and admits superseded by a later *admit*
+// are not either — the replacement install is exactly how the live
+// sequence behaved, and dropping the older one would change what a replay
+// interrupted mid-journal reconstructs. Records whose envelope cannot be
+// peeked are left for the apply pass to report.
+//
+// The scan doubles as the damage-repair pass: wal.Replay physically
+// truncates torn tails on first contact, so the report returned here (not
+// the apply pass's, which reads the already-repaired journal as clean) is
+// the honest account of what recovery found.
+func walScan(dir string) (map[int]bool, *wal.Report, error) {
+	type admitAt struct {
+		key string
+		idx int
+	}
+	var admits []admitAt
+	lastEvict := make(map[string]int)
+	idx := 0
+	jr, err := wal.Replay(dir, func(payload []byte) error {
+		op, key, ok := peekRecord(payload)
+		if ok {
+			switch op {
+			case walOpAdmit:
+				admits = append(admits, admitAt{key, idx})
+			case walOpEvict:
+				lastEvict[key] = idx
+			}
+		}
+		idx++
+		return nil
+	})
+	if err != nil {
+		return nil, jr, err
+	}
+	var skip map[int]bool
+	for _, a := range admits {
+		if e, ok := lastEvict[a.key]; ok && e > a.idx {
+			if skip == nil {
+				skip = make(map[int]bool)
+			}
+			skip[a.idx] = true
+		}
+	}
+	return skip, jr, nil
+}
+
+// peekRecord sniffs one journal record's (op, key) envelope without
+// decoding its body, in either encoding era.
+func peekRecord(payload []byte) (op, key string, ok bool) {
+	if wire.IsFrame(payload) {
+		typ, body, rest, err := wire.DecodeFrame(payload)
+		if err != nil || len(rest) != 0 {
+			return "", "", false
+		}
+		k, kok := wire.PeekWALKey(typ, body)
+		if !kok {
+			return "", "", false
+		}
+		if typ == wire.FrameWALAdmit {
+			return walOpAdmit, k, true
+		}
+		return walOpEvict, k, true
+	}
+	var env struct {
+		Op  string `json:"op"`
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return "", "", false
+	}
+	return env.Op, env.Key, true
+}
+
 // applyRecord applies one replayed journal record; failures are recorded,
 // never fatal. It runs during Open, before the registry escapes, so the
 // direct shard requests need no public-API locking. The record's encoding
 // is sniffed per payload (wire frames start with the wire magic, JSON
 // records with '{'), so a journal with mixed-era records replays whole.
 func (r *Registry) applyRecord(payload []byte, report *RecoveryReport) {
-	idx := report.Admits + report.Evicts + len(report.Skipped)
+	idx := report.Admits + report.Evicts + report.Compacted + len(report.Skipped)
 	skip := func(op, key, reason string) {
 		report.Skipped = append(report.Skipped, RecordFault{Index: idx, Op: op, Key: key, Reason: reason})
 	}
@@ -309,11 +409,15 @@ func (r *Registry) applyAdmit(key, cfgText string, artifact *election.Compiled, 
 	report.Admits++
 }
 
-// walAppendAdmit journals one acknowledged admission: the key, the
+// walEncodeAdmit encodes one admission's journal record: the key, the
 // (normalized) configuration text, and the compiled artifact with its
-// digest. It runs on the builder goroutine, after the shard install and
-// before the acknowledgment — never on a shard worker.
-func (r *Registry) walAppendAdmit(key string, d *election.Dedicated) error {
+// digest. It runs on the builder goroutine *before* the shard install —
+// Compile aliases the algorithm's live list and table memory, and once the
+// install lands a concurrent evict → retire → rebuild-in-place may recycle
+// exactly that memory. The pre-encoded payload is appended (walAppend)
+// after the install succeeds, preserving the checkpoint ordering invariant
+// documented at the top of this file.
+func (r *Registry) walEncodeAdmit(key string, d *election.Dedicated) ([]byte, error) {
 	var payload []byte
 	var err error
 	if r.walOpts.Encoding == EncodingJSON {
@@ -331,9 +435,9 @@ func (r *Registry) walAppendAdmit(key string, d *election.Dedicated) error {
 		})
 	}
 	if err != nil {
-		return fmt.Errorf("service: encoding journal record for %q: %w", key, err)
+		return nil, fmt.Errorf("service: encoding journal record for %q: %w", key, err)
 	}
-	return r.walAppend(payload)
+	return payload, nil
 }
 
 // walAppendEvict journals one acknowledged eviction; it runs on the

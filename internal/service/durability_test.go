@@ -89,8 +89,11 @@ func TestOpenRoundTrip(t *testing.T) {
 			if !report2.Clean() {
 				t.Fatalf("recovery of a cleanly-closed journal is not clean: %+v", report2)
 			}
-			if report2.Admits != len(keys)+1 || report2.Evicts != 1 {
-				t.Fatalf("replayed %d admits / %d evicts, want %d / 1", report2.Admits, report2.Evicts, len(keys)+1)
+			// The doomed admit+evict pair in the tail is compacted away:
+			// replay never installs an entry it would immediately drop.
+			if report2.Admits != len(keys) || report2.Evicts != 1 || report2.Compacted != 1 {
+				t.Fatalf("replayed %d admits / %d evicts / %d compacted, want %d / 1 / 1",
+					report2.Admits, report2.Evicts, report2.Compacted, len(keys))
 			}
 			if r2.Len() != len(keys) {
 				t.Fatalf("recovered registry holds %d keys, want %d", r2.Len(), len(keys))
@@ -102,6 +105,72 @@ func TestOpenRoundTrip(t *testing.T) {
 				t.Fatalf("recovered outcomes diverged:\n got %v\nwant %v", got, want)
 			}
 		})
+	}
+}
+
+// TestJournalCompaction pins the replay compaction rules on a churned
+// journal: admit A, admit B, evict A, re-admit A under a different
+// configuration. Only the first admit of A is dead — a later evict covers
+// it — so replay skips exactly that record (never building its algorithm),
+// still applies the evict, installs the re-admitted A, and leaves B alone.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := openTestRegistry(t, dir, WALOptions{Sync: wal.SyncAlways})
+	if err := r.Register("a", config.StaggeredClique(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("b", config.StaggeredClique(9)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Evict("a") {
+		t.Fatal("evict of a registered key failed")
+	}
+	// Re-admission under a different shape: the journal now reads
+	// admit a(6), admit b(9), evict a, admit a(14).
+	if err := r.Register("a", config.StaggeredClique(14)); err != nil {
+		t.Fatal(err)
+	}
+	want := electOutcomes(t, r, []string{"a", "b"})
+	r.Close()
+
+	r2, report := openTestRegistry(t, dir, WALOptions{Sync: wal.SyncAlways})
+	if !report.Clean() {
+		t.Fatalf("recovery not clean: %+v", report)
+	}
+	// Exactly the doomed first admit of "a" compacts; the re-admit after
+	// the evict must replay (it is the live state), and an admit is never
+	// compacted just because a later admit replaces it.
+	if report.Admits != 2 || report.Evicts != 1 || report.Compacted != 1 {
+		t.Fatalf("replayed %d admits / %d evicts / %d compacted, want 2 / 1 / 1",
+			report.Admits, report.Evicts, report.Compacted)
+	}
+	if got := electOutcomes(t, r2, []string{"a", "b"}); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered outcomes diverged:\n got %v\nwant %v", got, want)
+	}
+
+	// An evict whose admit lives in the checkpoint, not the journal, must
+	// never compact away: checkpoint the full registry, evict "b", and the
+	// next boot has a journal holding only that evict.
+	if err := r2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Evict("b") {
+		t.Fatal("evict after checkpoint failed")
+	}
+	r2.Close()
+
+	r3, report3 := openTestRegistry(t, dir, WALOptions{Sync: wal.SyncAlways})
+	if !report3.Clean() {
+		t.Fatalf("post-checkpoint recovery not clean: %+v", report3)
+	}
+	if !report3.CheckpointRestored || report3.Evicts != 1 || report3.Compacted != 0 {
+		t.Fatalf("post-checkpoint replay: %+v, want checkpoint restored, 1 evict, 0 compacted", report3)
+	}
+	if out, _ := r3.Elect("b"); out.Err == nil {
+		t.Fatal("evict of a checkpoint-restored entry did not survive replay")
+	}
+	if got := electOutcomes(t, r3, []string{"a"}); got["a"] != want["a"] {
+		t.Fatalf("key a diverged after checkpointed boot: %v want %v", got["a"], want["a"])
 	}
 }
 

@@ -198,7 +198,10 @@ func TestMixedEncodingJournalReplay(t *testing.T) {
 	era2.Close()
 
 	era3, report3 := openTestRegistry(t, dir, WALOptions{Sync: wal.SyncAlways})
-	if !report3.Clean() || report3.Admits != 3 || report3.Evicts != 1 {
+	// The doomed key's JSON admit is paired with the later binary evict, so
+	// the compaction pre-pass drops the admit across the encoding boundary
+	// instead of replay installing it just to tear it down again.
+	if !report3.Clean() || report3.Admits != 2 || report3.Evicts != 1 || report3.Compacted != 1 {
 		t.Fatalf("mixed-era replay: %+v", report3)
 	}
 	if out, _ := era3.Elect("doomed"); out.Err == nil {

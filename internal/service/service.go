@@ -7,13 +7,25 @@
 // by exactly one worker goroutine that holds everything the shard needs —
 // its configurations (each an *election.Dedicated with its pooled
 // simulator), one reusable ElectionOutcome per configuration, and its own
-// statistics counters. Every operation on a shard (election, install,
-// eviction, stats snapshot) executes *on* the owning worker via its request
-// queue, so shard state needs no locks, shares no memory across shards, and
-// the steady-state serve path performs zero heap allocations: requests and
+// statistics counters. Every mutation of a shard (install, eviction,
+// snapshot, stats) executes *on* the owning worker via its request queue,
+// so shard state needs no locks, shares no memory across shards, and the
+// steady-state serve path performs zero heap allocations: requests and
 // responses travel by value through buffered channels, reply channels are
 // drawn from a pool, and the election itself runs on the zero-alloc
 // Dedicated.ElectInto path.
+//
+// Elections — the read-only operation — additionally participate in work
+// stealing (Options.WorkStealing, default on): every shard queues its
+// elections on a dedicated channel, and a worker whose own queues are empty
+// serves a queued election from the most loaded sibling instead of idling.
+// Placement is unchanged (FNV still names every key's home shard, and
+// mutations never migrate, so entry ownership stays with one worker); a
+// stolen election resolves its entry through the home shard's copy-on-write
+// entry view and serializes with installs and evictions on a per-entry
+// mutex, so outcomes are bit-identical with stealing on or off. The effect
+// is that a handful of hot keys hashed onto one shard no longer pin one
+// core while the rest idle — exactly the skew a fleet router concentrates.
 //
 // Admissions are pipelined, not served inline: Register, RegisterCompiled
 // and their Async variants enqueue onto a bounded admission queue drained
@@ -114,7 +126,21 @@ type Options struct {
 	// zero value) or the pre-binary era's indented JSON. Restore always
 	// auto-detects per file, so the option never affects what can be read.
 	SnapshotEncoding Encoding
+	// WorkStealing lets an idle shard worker serve queued elections from
+	// the most loaded sibling's election queue, relieving hot-shard skew
+	// when a few hot keys hash onto one shard. Only read-only election
+	// operations migrate — installs, evictions, snapshots and stats stay
+	// on the owning worker — and outcomes are bit-identical with stealing
+	// on or off (the per-entry mutex serializes elections on one
+	// configuration no matter which worker runs them). nil selects the
+	// default (enabled); set Bool(false) to pin every election to its home
+	// worker.
+	WorkStealing *bool
 }
+
+// Bool returns a pointer to v, for Options fields (WorkStealing) whose
+// absence (nil) selects a non-zero default.
+func Bool(v bool) *bool { return &v }
 
 // Outcome is the value-typed result of one served election. It aliases no
 // worker-owned memory, so it stays valid indefinitely and travels through
@@ -152,6 +178,18 @@ type ShardStats struct {
 	Failures int64
 	// Rounds accumulates the global rounds of all served elections.
 	Rounds int64
+	// Stolen counts elections this shard's worker executed on behalf of
+	// other shards (this worker was the thief). Those elections are
+	// counted in the home shard's Elections, not this one's.
+	Stolen int64
+	// StolenFrom counts this shard's elections that sibling workers
+	// executed (this shard was the victim); they are still counted in this
+	// shard's Elections and Rounds.
+	StolenFrom int64
+	// Queued is the instantaneous depth of the shard's queues (pending
+	// elections plus pending mutations) when the snapshot was taken —
+	// the direct observable for hot-shard skew.
+	Queued int
 }
 
 // Totals folds per-shard snapshots into one aggregate (Shard is -1,
@@ -164,6 +202,9 @@ func Totals(stats []ShardStats) ShardStats {
 		total.Elections += s.Elections
 		total.Failures += s.Failures
 		total.Rounds += s.Rounds
+		total.Stolen += s.Stolen
+		total.StolenFrom += s.StolenFrom
+		total.Queued += s.Queued
 	}
 	return total
 }
@@ -216,20 +257,42 @@ type response struct {
 }
 
 // entry is one registered configuration: the dedicated algorithm plus the
-// shard-owned reusable outcome its elections run into.
+// shard-owned reusable outcome its elections run into. The mutex serializes
+// elections (which may run on a stealing sibling worker) against each other
+// and against installs and evictions; d == nil under the lock marks an
+// evicted entry a thief may still reach through a stale view.
 type entry struct {
+	mu  sync.Mutex
 	d   *election.Dedicated
 	out radio.ElectionOutcome
 }
 
-// shard is the state owned by one worker goroutine. Nothing here is ever
-// touched from outside the worker.
+// shard is the state owned by one worker goroutine. The entries map, arena
+// and stats are only ever touched by the owning worker; the atomics and the
+// view are the shard's cross-worker surface for work stealing.
 type shard struct {
 	id       int
-	requests chan request
+	requests chan request // mutations, stats, snapshots — home-worker only
+	elects   chan request // queued elections — stealable by idle siblings
 	entries  map[string]*entry
 	arena    *election.BuildArena // used only under Options.BuildOnShard
-	stats    ShardStats
+	stats    ShardStats           // worker-only counters (Builds, admission Failures)
+
+	stealing bool
+	// view is a copy-on-write snapshot of entries for stealing siblings;
+	// the owner republishes it on entry add/remove (not on same-key
+	// replace, which swaps d under the entry mutex and keeps the pointer).
+	view atomic.Pointer[map[string]*entry]
+	// load is the election-queue depth hint (incremented by submitters,
+	// decremented by whichever worker serves the op); siblings pick the
+	// highest-load victim.
+	load atomic.Int64
+	// Serving counters, atomics because a thief updates its victim's.
+	elections  atomic.Int64
+	rounds     atomic.Int64
+	electFails atomic.Int64
+	stolen     atomic.Int64 // elections this worker ran for siblings
+	stolenFrom atomic.Int64 // this shard's elections run by siblings
 }
 
 // Registry is the sharded election service. All methods, including Close,
@@ -264,6 +327,23 @@ type Registry struct {
 	buildOnShard bool
 	buildHook    func(key string)
 	snapshotEnc  Encoding
+
+	// stealKick wakes blocked workers when an election queue grows beyond
+	// one pending op; nil when Options.WorkStealing is disabled (a nil
+	// channel never fires in the workers' select).
+	stealKick chan struct{}
+
+	// retired pools displaced and evicted algorithms for rebuild-in-place
+	// admissions (election.RebuildInto): a builder re-admitting a key
+	// reuses a retired algorithm's report, lists, phase table and decision
+	// buffers instead of reallocating them. Only registry-built algorithms
+	// enter the pool (see retire).
+	retired sync.Pool
+	// snapMu fences artifact gathering against rebuild-in-place: snapshots
+	// compile artifacts that alias live algorithm memory and encode them on
+	// the caller's goroutine, so Snapshot holds the write side across
+	// gather+encode while builders hold the read side around RebuildInto.
+	snapMu sync.RWMutex
 
 	// Admission pipeline state (admission.go).
 	admissions   chan admission
@@ -348,14 +428,25 @@ func newCore(opts Options) *Registry {
 		admitted:     make(map[string]*admissionRecord),
 	}
 	r.replies.New = func() any { return make(chan response, 1) }
+	stealing := (opts.WorkStealing == nil || *opts.WorkStealing) && shards > 1
+	if stealing {
+		r.stealKick = make(chan struct{}, shards)
+	}
+	// Fill the shard table completely before starting any worker: a
+	// stealing worker scans every sibling's load hint.
 	for i := range r.shards {
 		sh := &shard{
 			id:       i,
 			requests: make(chan request, depth),
+			elects:   make(chan request, depth),
 			entries:  make(map[string]*entry),
 			arena:    election.NewBuildArena(),
+			stealing: stealing,
 		}
+		sh.publishView()
 		r.shards[i] = sh
+	}
+	for _, sh := range r.shards {
 		r.workers.Add(1)
 		go r.worker(sh)
 	}
@@ -426,6 +517,21 @@ func (r *Registry) do(sh *shard, req request) response {
 	resp := <-reply
 	r.replies.Put(reply)
 	return resp
+}
+
+// sendElect queues one election on the shard's election channel, maintains
+// the load hint, and — when the shard has more than one election pending —
+// kicks an idle sibling so stealing starts without waiting for a poll.
+// Callers must hold a lifecycle acquire slot, like do.
+func (r *Registry) sendElect(sh *shard, req request) {
+	sh.load.Add(1)
+	sh.elects <- req
+	if r.stealKick != nil && sh.load.Load() >= 2 {
+		select {
+		case r.stealKick <- struct{}{}:
+		default: // a wake-up is already pending; one is enough
+		}
+	}
 }
 
 // Register classifies cfg, builds its dedicated algorithm on the builder
@@ -515,7 +621,10 @@ func (r *Registry) Elect(key string) (Outcome, error) {
 		return Outcome{Key: key, Leader: -1, Err: ErrClosed}, ErrClosed
 	}
 	defer r.release()
-	resp := r.do(r.shardFor(key), request{op: opElect, key: key})
+	reply := r.replies.Get().(chan response)
+	r.sendElect(r.shardFor(key), request{op: opElect, key: key, reply: reply})
+	resp := <-reply
+	r.replies.Put(reply)
 	return resp.out, resp.out.Err
 }
 
@@ -545,7 +654,7 @@ func (r *Registry) ElectBatch(keys []string, outs []Outcome) ([]Outcome, error) 
 	}
 	reply := r.batchReply(len(keys))
 	for i, key := range keys {
-		r.shardFor(key).requests <- request{op: opElect, key: key, index: i, reply: reply}
+		r.sendElect(r.shardFor(key), request{op: opElect, key: key, index: i, reply: reply})
 	}
 	for range keys {
 		resp := <-reply
@@ -637,7 +746,11 @@ func (r *Registry) Close() {
 	close(r.admissions)
 	r.builders.Wait()
 	for _, sh := range r.shards {
+		// Election queues are empty (every queued election had a waiter
+		// counted by the lifecycle drain), so closing both channels only
+		// releases blocked workers.
 		close(sh.requests)
+		close(sh.elects)
 	}
 	r.workers.Wait()
 	if r.wal != nil {
@@ -649,61 +762,244 @@ func (r *Registry) Close() {
 	close(r.closeDone)
 }
 
-// worker owns one shard: it is the only goroutine that ever reads or writes
-// the shard's entries, arena and counters.
+// worker owns one shard: it is the only goroutine that ever mutates the
+// shard's entries, arena and worker-only counters. The loop drains the
+// shard's own queues first (mutations before elections, both without
+// blocking), then — when idle — serves a queued election from the most
+// loaded sibling, and only then blocks. A nil stealKick (stealing disabled)
+// never fires, so a non-stealing worker blocks exactly as it did before.
 func (r *Registry) worker(sh *shard) {
 	defer r.workers.Done()
-	for req := range sh.requests {
-		var resp response
-		switch req.op {
-		case opElect:
-			resp.out = sh.elect(req.key, req.index)
-		case opRegister:
-			resp.out = Outcome{Key: req.key, Index: req.index, Leader: -1}
-			trusted := req.trust == trustDigest || (req.trust == trustRegistry && r.trustDigests)
-			resp.out.Err = sh.register(req.key, req.cfg, req.compiled, trusted, r.buildHook, &r.configCount)
-		case opInstall:
-			resp.out = Outcome{Key: req.key, Index: req.index, Leader: -1}
-			if req.buildErr != nil {
-				sh.stats.Failures++
-				resp.out.Err = req.buildErr
-			} else {
-				sh.stats.Builds++
-				sh.install(req.key, req.d, &r.configCount)
+	requests, elects := sh.requests, sh.elects
+	for requests != nil || elects != nil {
+		select {
+		case req, ok := <-requests:
+			if !ok {
+				requests = nil
+				continue
 			}
-		case opEvict:
-			if _, ok := sh.entries[req.key]; ok {
-				delete(sh.entries, req.key)
-				r.configCount.Add(-1)
-				resp.evicted = true
-			}
-		case opStats:
-			resp.stats = sh.stats
-			resp.stats.Shard = sh.id
-			resp.stats.Configs = len(sh.entries)
-		case opSnapshot:
-			resp.entries = sh.snapshot()
+			r.serve(sh, req)
+			continue
+		default:
 		}
-		req.reply <- resp
+		select {
+		case req, ok := <-elects:
+			if !ok {
+				elects = nil
+				continue
+			}
+			r.runElect(sh, req, nil)
+			continue
+		default:
+		}
+		if sh.stealing && r.steal(sh) {
+			continue
+		}
+		select {
+		case req, ok := <-requests:
+			if !ok {
+				requests = nil
+				continue
+			}
+			r.serve(sh, req)
+		case req, ok := <-elects:
+			if !ok {
+				elects = nil
+				continue
+			}
+			r.runElect(sh, req, nil)
+		case <-r.stealKick:
+			// A sibling's election queue grew; loop around and steal.
+		}
 	}
 }
 
+// serve executes one mutation-side request on the owning worker.
+func (r *Registry) serve(sh *shard, req request) {
+	var resp response
+	switch req.op {
+	case opRegister:
+		resp.out = Outcome{Key: req.key, Index: req.index, Leader: -1}
+		trusted := req.trust == trustDigest || (req.trust == trustRegistry && r.trustDigests)
+		displaced, err := sh.register(req.key, req.cfg, req.compiled, trusted, r.buildHook, &r.configCount)
+		resp.out.Err = err
+		r.retire(displaced)
+	case opInstall:
+		resp.out = Outcome{Key: req.key, Index: req.index, Leader: -1}
+		if req.buildErr != nil {
+			sh.stats.Failures++
+			resp.out.Err = req.buildErr
+		} else {
+			sh.stats.Builds++
+			r.retire(sh.install(req.key, req.d, &r.configCount))
+		}
+	case opEvict:
+		if e, ok := sh.entries[req.key]; ok {
+			// Tombstone under the entry mutex so a thief holding a stale
+			// view observes the eviction, then drop the entry and publish
+			// the new view.
+			e.mu.Lock()
+			d := e.d
+			e.d = nil
+			e.mu.Unlock()
+			delete(sh.entries, req.key)
+			sh.publishView()
+			r.configCount.Add(-1)
+			r.retire(d)
+			resp.evicted = true
+		}
+	case opStats:
+		resp.stats = sh.stats
+		resp.stats.Shard = sh.id
+		resp.stats.Configs = len(sh.entries)
+		resp.stats.Elections = sh.elections.Load()
+		resp.stats.Rounds = sh.rounds.Load()
+		resp.stats.Failures += sh.electFails.Load()
+		resp.stats.Stolen = sh.stolen.Load()
+		resp.stats.StolenFrom = sh.stolenFrom.Load()
+		resp.stats.Queued = len(sh.requests) + len(sh.elects)
+	case opSnapshot:
+		resp.entries = sh.snapshot()
+	}
+	req.reply <- resp
+}
+
+// steal serves one queued election from the most loaded sibling. The victim
+// needs at least two pending elections: a lone queued op belongs to its home
+// worker (which is at most one dequeue away from it), and leaving it there
+// preserves strict home-shard affinity for sequential clients.
+func (r *Registry) steal(thief *shard) bool {
+	var victim *shard
+	best := int64(1)
+	for _, sh := range r.shards {
+		if sh == thief {
+			continue
+		}
+		if l := sh.load.Load(); l > best {
+			victim, best = sh, l
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	select {
+	case req, ok := <-victim.elects:
+		if !ok {
+			return false
+		}
+		r.runElect(victim, req, thief)
+		return true
+	default:
+		return false
+	}
+}
+
+// runElect executes one queued election for its home shard. thief is non-nil
+// when a sibling worker stole the op, in which case the entry resolves
+// through the home shard's copy-on-write view instead of the worker-owned
+// map. Outcomes and counters are identical either way: the per-entry mutex
+// serializes elections on one configuration no matter which worker runs
+// them, and every serving counter stays attributed to the home shard.
+func (r *Registry) runElect(home *shard, req request, thief *shard) {
+	home.load.Add(-1)
+	if thief != nil {
+		thief.stolen.Add(1)
+		home.stolenFrom.Add(1)
+	}
+	out := Outcome{Key: req.key, Index: req.index, Leader: -1}
+	var e *entry
+	if thief == nil {
+		e = home.entries[req.key]
+	} else if m := home.view.Load(); m != nil {
+		e = (*m)[req.key]
+	}
+	if e != nil {
+		e.mu.Lock()
+		if d := e.d; d == nil {
+			// Evicted between the view read and the lock.
+			e.mu.Unlock()
+			e = nil
+		} else {
+			err := d.ElectInto(&e.out, radio.Options{})
+			if err == nil {
+				err = d.Verify(&e.out)
+			}
+			leader, rounds := e.out.Leader(), e.out.Rounds
+			e.mu.Unlock()
+			if err != nil {
+				home.electFails.Add(1)
+				out.Err = err
+			} else {
+				out.Leader = leader
+				out.Rounds = rounds
+				home.elections.Add(1)
+				home.rounds.Add(int64(rounds))
+			}
+			req.reply <- response{out: out}
+			return
+		}
+	}
+	home.electFails.Add(1)
+	out.Err = fmt.Errorf("%w: no configuration registered under %q", ErrUnknownKey, req.key)
+	req.reply <- response{out: out}
+}
+
+// publishView republishes the copy-on-write entry view stealing siblings
+// resolve keys through. It runs on the owning worker, only when the entry
+// set changes (add or remove — a same-key replacement keeps the entry
+// pointer and swaps the algorithm under the entry mutex instead).
+func (sh *shard) publishView() {
+	if !sh.stealing {
+		return
+	}
+	m := make(map[string]*entry, len(sh.entries))
+	for k, e := range sh.entries {
+		m[k] = e
+	}
+	sh.view.Store(&m)
+}
+
+// retire recycles a displaced or evicted algorithm into the rebuild pool so
+// a later admission can rebuild in place on its retained buffers. Only
+// registry-built algorithms are recycled: artifact-loaded ones (Report ==
+// nil) own no classifier report and may alias caller-provided artifact
+// memory.
+func (r *Registry) retire(d *election.Dedicated) {
+	if d == nil || d.Report == nil {
+		return
+	}
+	r.retired.Put(d)
+}
+
+// takeRetired hands a builder a retired algorithm to rebuild into, or nil.
+func (r *Registry) takeRetired() *election.Dedicated {
+	d, _ := r.retired.Get().(*election.Dedicated)
+	return d
+}
+
 // install admits a finished algorithm under key; it runs on the owning
-// worker and is O(1) — the build already happened elsewhere.
-func (sh *shard) install(key string, d *election.Dedicated, configCount *atomic.Int64) {
+// worker and is O(1) — the build already happened elsewhere. It returns the
+// displaced algorithm (nil for a first admission), which no goroutine can
+// reach once the swap completed.
+func (sh *shard) install(key string, d *election.Dedicated, configCount *atomic.Int64) *election.Dedicated {
 	e := sh.entries[key]
 	if e == nil {
 		e = &entry{}
 		sh.entries[key] = e
+		sh.publishView()
 		configCount.Add(1)
 	}
+	e.mu.Lock()
+	displaced := e.d
 	e.d = d // replacing a key keeps its reusable outcome buffers
+	e.mu.Unlock()
+	return displaced
 }
 
 // register is the legacy build-on-shard admission (Options.BuildOnShard):
 // the build runs on the owning worker, stalling the shard's elections for
-// its duration.
-func (sh *shard) register(key string, cfg *config.Config, compiled *election.Compiled, trustDigests bool, hook func(string), configCount *atomic.Int64) error {
+// its duration. It returns the displaced algorithm alongside the error.
+func (sh *shard) register(key string, cfg *config.Config, compiled *election.Compiled, trustDigests bool, hook func(string), configCount *atomic.Int64) (*election.Dedicated, error) {
 	if hook != nil {
 		hook(key)
 	}
@@ -721,34 +1017,8 @@ func (sh *shard) register(key string, cfg *config.Config, compiled *election.Com
 	}
 	if err != nil {
 		sh.stats.Failures++
-		return err
+		return nil, err
 	}
 	sh.stats.Builds++
-	sh.install(key, d, configCount)
-	return nil
-}
-
-func (sh *shard) elect(key string, index int) Outcome {
-	out := Outcome{Key: key, Index: index, Leader: -1}
-	e := sh.entries[key]
-	if e == nil {
-		sh.stats.Failures++
-		out.Err = fmt.Errorf("%w: no configuration registered under %q", ErrUnknownKey, key)
-		return out
-	}
-	if err := e.d.ElectInto(&e.out, radio.Options{}); err != nil {
-		sh.stats.Failures++
-		out.Err = err
-		return out
-	}
-	if err := e.d.Verify(&e.out); err != nil {
-		sh.stats.Failures++
-		out.Err = err
-		return out
-	}
-	out.Leader = e.out.Leader()
-	out.Rounds = e.out.Rounds
-	sh.stats.Elections++
-	sh.stats.Rounds += int64(e.out.Rounds)
-	return out
+	return sh.install(key, d, configCount), nil
 }

@@ -128,7 +128,10 @@ type RestoreReport struct {
 // with their compiled artifacts, in sorted key order. Each shard is visited
 // with one synchronous request on its worker, so every per-shard slice is
 // internally consistent (concurrent admissions land in the snapshot iff
-// they reached their shard first).
+// they reached their shard first). The returned artifacts alias live
+// algorithm memory; callers that consume them while admissions continue
+// should encode them promptly (Snapshot additionally fences them against
+// rebuild-in-place re-admissions).
 func (r *Registry) SnapshotEntries() ([]SnapshotEntry, error) {
 	if !r.acquire() {
 		return nil, ErrClosed
@@ -155,6 +158,12 @@ func (r *Registry) SnapshotEntries() ([]SnapshotEntry, error) {
 // missing manifest makes Restore fail loudly — never a manifest pointing
 // at another snapshot's files.
 func (r *Registry) Snapshot(dir string) (*Manifest, error) {
+	// Gathered artifacts alias live algorithm memory (lists, phase table),
+	// and a rebuild-in-place admission recycles exactly that memory once
+	// the algorithm is displaced. Hold the snapshot fence across gather and
+	// encode so no builder rebuilds into an artifact mid-write.
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
 	entries, err := r.SnapshotEntries()
 	if err != nil {
 		return nil, err
@@ -372,10 +381,14 @@ func (r *Registry) restoreEntry(dir string, me ManifestEntry) (trusted bool, err
 }
 
 // snapshot compiles every entry of the shard; it runs on the owning worker.
+// The entry mutex is taken per entry so the compile never overlaps a stolen
+// election running on a sibling worker.
 func (sh *shard) snapshot() []SnapshotEntry {
 	entries := make([]SnapshotEntry, 0, len(sh.entries))
 	for key, e := range sh.entries {
+		e.mu.Lock()
 		entries = append(entries, SnapshotEntry{Key: key, Config: e.d.Config, Artifact: e.d.Compile()})
+		e.mu.Unlock()
 	}
 	return entries
 }

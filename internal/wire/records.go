@@ -64,6 +64,29 @@ func (m *WALAdmit) DecodeFrom(p []byte) error {
 	return r.finish()
 }
 
+// PeekWALKey extracts the key of one journal-record frame payload without
+// decoding the artifact body. Replay's compaction pre-pass uses it to pair
+// admit records with later evicts of the same key cheaply; ok is false for
+// frame types that are not journal records and for payloads too damaged to
+// carry a key.
+func PeekWALKey(typ FrameType, payload []byte) (key string, ok bool) {
+	r := reader{payload}
+	switch typ {
+	case FrameWALAdmit:
+		if _, err := r.byte(); err != nil { // flags
+			return "", false
+		}
+	case FrameWALEvict:
+	default:
+		return "", false
+	}
+	key, err := r.string()
+	if err != nil {
+		return "", false
+	}
+	return key, true
+}
+
 // AppendWALEvictFrame appends the framed evict record to dst.
 func AppendWALEvictFrame(dst []byte, m *WALEvict) []byte {
 	dst, mark := beginFrame(dst, FrameWALEvict)
