@@ -615,7 +615,52 @@ func NewParallelSimulator(cfg *Config, workers int) (*Simulator, error) {
 	return radio.NewParallelSimulator(cfg, workers)
 }
 
-// RunExperiments regenerates every experiment table (E1-E16, A1) and writes
+// FaultPlan is a seeded description of a misbehaving radio medium: a
+// per-link per-round message-drop probability, a per-node per-round
+// spurious-collision (noise) probability, and per-node outage windows.
+// Set it on SimulationOptions.Fault (or ServiceOptions.Fault for a served
+// registry) to run elections over a lossy medium. Every fault decision is
+// a pure function of (Seed, round, node), so the same plan reproduces the
+// same faulted execution on every engine and every run; a nil or all-zero
+// plan leaves the medium untouched, bit-identically. See internal/radio's
+// fault seam and experiment E18.
+type FaultPlan = radio.FaultPlan
+
+// FaultOutage is one per-node radio outage window [From, To) in global
+// rounds: the node neither delivers nor receives while down, though its
+// tag-driven spontaneous wake-up still fires (the tag is a clock, not a
+// radio event).
+type FaultOutage = radio.Outage
+
+// ServiceChurnSoak is a long-running dynamic-churn driver over a Service:
+// it cycles a fixed set of keys evict → re-admit (through the
+// rebuild-in-place admission pipeline) while elections keep serving, and
+// guarantees no lost admissions — every eviction is repaired before the
+// soak ends, admission backpressure is retried, and only a closed registry
+// stops it early. The HTTP server exposes it under /v1/soak; experiment
+// E19 and the CI churn-soak smoke are the worked examples.
+type ServiceChurnSoak = service.ChurnSoak
+
+// ServiceChurnEntry is one churned key: the registry key plus the
+// configuration re-admitted after each eviction.
+type ServiceChurnEntry = service.ChurnEntry
+
+// ServiceChurnOptions configure a churn soak (pause between cycles; zero
+// churns as fast as the admission pipeline allows).
+type ServiceChurnOptions = service.ChurnOptions
+
+// ServiceChurnStats is a snapshot of a soak's counters: completed cycles,
+// evictions, re-admissions, backpressure retries and terminal failures.
+type ServiceChurnStats = service.ChurnStats
+
+// StartServiceChurn starts a churn soak over s. Stop it with
+// (*ServiceChurnSoak).Stop, which waits for an in-flight eviction to be
+// repaired before returning.
+func StartServiceChurn(s *Service, entries []ServiceChurnEntry, opts ServiceChurnOptions) (*ServiceChurnSoak, error) {
+	return service.StartChurn(s, entries, opts)
+}
+
+// RunExperiments regenerates every experiment table (E1-E19, A1) and writes
 // them to w. With quick=true a reduced parameter sweep is used. The election
 // experiments run on the sequential engine; use RunExperimentsOn to choose.
 func RunExperiments(w io.Writer, quick bool, seed int64) error {
@@ -633,7 +678,7 @@ func RunExperimentsOn(w io.Writer, quick bool, seed int64, kind EngineKind) erro
 	return harness.RunAll(harness.Options{Quick: quick, Seed: seed, Engine: eng}, w)
 }
 
-// RunExperiment runs a single experiment by ID ("E1".."E16", "A1") and returns its
+// RunExperiment runs a single experiment by ID ("E1".."E19", "A1") and returns its
 // table.
 func RunExperiment(id string, quick bool, seed int64) (*ExperimentTable, error) {
 	return RunExperimentOn(id, quick, seed, SequentialEngine)

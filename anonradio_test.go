@@ -161,7 +161,7 @@ func TestRunExperimentSingle(t *testing.T) {
 
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 18 || ids[0] != "E1" || ids[16] != "E17" || ids[17] != "A1" {
+	if len(ids) != 20 || ids[0] != "E1" || ids[18] != "E19" || ids[19] != "A1" {
 		t.Fatalf("experiment ids wrong: %v", ids)
 	}
 }
@@ -180,4 +180,67 @@ type failingWriter struct{}
 
 func (*failingWriter) Write(p []byte) (int, error) {
 	return 0, errors.New("sink closed")
+}
+
+func TestFacadeFaultedSimulation(t *testing.T) {
+	// The fault seam through the public API: a faulted election runs through
+	// SimulationOptions.Fault, an all-zero plan reproduces the clean outcome,
+	// and the plan is deterministic across runs.
+	_, d, err := Elect(StaggeredClique(8))
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	clean, err := d.Elect(nil, SimulationOptions{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	leader, rounds := clean.Leader(), clean.Rounds
+	zero, err := d.Elect(nil, SimulationOptions{Fault: &FaultPlan{Seed: 3}})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if zero.Leader() != leader || zero.Rounds != rounds {
+		t.Fatalf("all-zero fault plan diverged: %d/%d vs %d/%d", zero.Leader(), zero.Rounds, leader, rounds)
+	}
+	plan := &FaultPlan{Seed: 3, Drop: 0.4, Noise: 0.1, Outages: []FaultOutage{{Node: 0, From: 0, To: 2}}}
+	a, err := d.Elect(nil, SimulationOptions{Fault: plan})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	aLeaders := append([]int(nil), a.Leaders...)
+	b, err := d.Elect(nil, SimulationOptions{Fault: plan})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(b.Leaders) != len(aLeaders) || b.Rounds != a.Rounds {
+		t.Fatalf("faulted election not deterministic: %v/%d vs %v/%d", b.Leaders, b.Rounds, aLeaders, a.Rounds)
+	}
+}
+
+func TestFacadeServiceChurn(t *testing.T) {
+	svc := NewService(ServiceOptions{Shards: 2})
+	defer svc.Close()
+	if err := svc.Register("stable", StaggeredClique(6)); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := svc.Register("churned", StaggeredPath(5, 1)); err != nil {
+		t.Fatalf("%v", err)
+	}
+	soak, err := StartServiceChurn(svc, []ServiceChurnEntry{{Key: "churned", Cfg: StaggeredPath(5, 1)}}, ServiceChurnOptions{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	for soak.Stats().Cycles < 3 {
+		if out, err := svc.Elect("stable"); err != nil || !out.Elected() {
+			t.Fatalf("elect during churn: %+v, %v", out, err)
+		}
+	}
+	soak.Stop()
+	st := soak.Stats()
+	if st.Running || st.Failures != 0 || st.Readmissions == 0 {
+		t.Fatalf("churn stats wrong: %+v", st)
+	}
+	if out, err := svc.Elect("churned"); err != nil || !out.Elected() {
+		t.Fatalf("post-churn elect: %+v, %v", out, err)
+	}
 }

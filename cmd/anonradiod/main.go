@@ -25,7 +25,8 @@
 //	           [-shutdown-timeout 10s] [-wal-dir DIR]
 //	           [-wal-sync always|batch|off] [-checkpoint-every 1m]
 //	           [-snapshot-encoding binary|json] [-wal-encoding binary|json]
-//	           [-work-stealing=false]
+//	           [-work-stealing=false] [-fault-drop P] [-fault-noise P]
+//	           [-fault-seed N] [-fault-outages node:from:to,...]
 //
 // A minimal session against a running daemon:
 //
@@ -42,17 +43,60 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"anonradio/internal/radio"
 	"anonradio/internal/server"
 	"anonradio/internal/service"
 	"anonradio/internal/wal"
 )
+
+// buildFaultPlan assembles the -fault-* flags into a radio fault plan; a
+// nil plan (all flags zero) is the clean medium.
+func buildFaultPlan(seed uint64, drop, noise float64, outages string) (*radio.FaultPlan, error) {
+	if drop < 0 || drop > 1 {
+		return nil, fmt.Errorf("-fault-drop %g outside [0, 1]", drop)
+	}
+	if noise < 0 || noise > 1 {
+		return nil, fmt.Errorf("-fault-noise %g outside [0, 1]", noise)
+	}
+	plan := &radio.FaultPlan{Seed: seed, Drop: drop, Noise: noise}
+	if outages != "" {
+		for _, spec := range strings.Split(outages, ",") {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("-fault-outages: %q is not a node:from:to triple", spec)
+			}
+			var o radio.Outage
+			var err error
+			if o.Node, err = strconv.Atoi(parts[0]); err != nil {
+				return nil, fmt.Errorf("-fault-outages: node in %q: %v", spec, err)
+			}
+			if o.From, err = strconv.Atoi(parts[1]); err != nil {
+				return nil, fmt.Errorf("-fault-outages: from in %q: %v", spec, err)
+			}
+			if o.To, err = strconv.Atoi(parts[2]); err != nil {
+				return nil, fmt.Errorf("-fault-outages: to in %q: %v", spec, err)
+			}
+			if o.Node < 0 || o.From < 0 || o.To <= o.From {
+				return nil, fmt.Errorf("-fault-outages: %q needs node >= 0, from >= 0, to > from", spec)
+			}
+			plan.Outages = append(plan.Outages, o)
+		}
+	}
+	if plan.Empty() {
+		return nil, nil
+	}
+	return plan, nil
+}
 
 func main() { os.Exit(run()) }
 
@@ -78,6 +122,10 @@ func run() int {
 		snapshotEnc     = flag.String("snapshot-encoding", "binary", "artifact encoding of snapshots and checkpoints this daemon writes: binary (compact wire frames) or json (elect -compiled compatible); restore auto-detects either")
 		walEnc          = flag.String("wal-encoding", "binary", "journal record encoding this daemon writes: binary or json; replay auto-detects either, so mixed-era journals boot unchanged")
 		workStealing    = flag.Bool("work-stealing", true, "let idle shard workers steal queued read-only elections from loaded siblings (hot-key relief); mutations always stay on the owning shard")
+		faultDrop       = flag.Float64("fault-drop", 0, "per-delivery message-drop probability injected into every served election, in [0,1] (robustness experiments; 0 = the paper's clean medium)")
+		faultNoise      = flag.Float64("fault-noise", 0, "per-node-per-round spurious-collision probability injected into every served election, in [0,1]")
+		faultSeed       = flag.Uint64("fault-seed", 0, "seed keying the injected faults; the same seed replays identical faults")
+		faultOutages    = flag.String("fault-outages", "", "per-node radio-off windows injected into every served election, as comma-separated node:from:to global-round triples (e.g. 0:2:5,3:0:10)")
 	)
 	flag.Parse()
 	log.SetPrefix("anonradiod: ")
@@ -98,6 +146,11 @@ func run() int {
 		log.Printf("-wal-encoding: %v", err)
 		return 2
 	}
+	fault, err := buildFaultPlan(*faultSeed, *faultDrop, *faultNoise, *faultOutages)
+	if err != nil {
+		log.Printf("fault flags: %v", err)
+		return 2
+	}
 	opts := service.Options{
 		Shards:               *shards,
 		QueueDepth:           *queueDepth,
@@ -106,6 +159,11 @@ func run() int {
 		TrustCompiledDigests: *trust,
 		SnapshotEncoding:     snapEncoding,
 		WorkStealing:         service.Bool(*workStealing),
+		Fault:                fault,
+	}
+	if fault != nil {
+		log.Printf("serving over a faulted medium: seed=%d drop=%g noise=%g outages=%d (every election runs the fault plan)",
+			fault.Seed, fault.Drop, fault.Noise, len(fault.Outages))
 	}
 	var reg *service.Registry
 	if *walDir != "" {

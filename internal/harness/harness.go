@@ -83,6 +83,8 @@ func All() []Experiment {
 		{ID: "E15", Name: "Durability cost (admission throughput and recovery per fsync policy)", Run: E15DurabilityCost},
 		{ID: "E16", Name: "Wire encoding cost (binary frames vs JSON serving and snapshots)", Run: E16WireEncoding},
 		{ID: "E17", Name: "Hot-shard relief (work stealing under zipf skew; rebuild-in-place churn)", Run: E17HotShardRelief},
+		{ID: "E18", Name: "Faulted medium (outcome vs drop/noise rate, all engines)", Run: E18FaultedMedium},
+		{ID: "E19", Name: "HTTP churn soak (elections under evict/re-admit churn, WAL on)", Run: E19ChurnSoak},
 		{ID: "A1", Name: "Ablation: Refine implementation (representative scan vs hashing)", Run: A1RefineAblation},
 	}
 }

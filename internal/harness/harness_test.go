@@ -30,8 +30,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(all))
+	if len(all) != 20 {
+		t.Fatalf("expected 20 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -289,5 +289,49 @@ func TestE14AdmissionIsolation(t *testing.T) {
 		if i > 0 && row[2] == "0" {
 			t.Fatalf("row %d performed no admissions: %v", i, row)
 		}
+	}
+}
+
+func TestE18FaultedMedium(t *testing.T) {
+	table, err := E18FaultedMedium(quickOpts())
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("expected 4 quick operating points, got %d", len(table.Rows))
+	}
+	for i, row := range table.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("row %d: engines diverged under the same fault seed: %v", i, row)
+		}
+	}
+	// The clean point must be all-correct; the drop=0.5 noise=0.1 point must
+	// actually break something, otherwise the faults are not being applied.
+	if clean := table.Rows[0]; clean[3][:len(clean[3])-len(" (100%)")] == "0" {
+		t.Fatalf("clean point elected nothing: %v", clean)
+	}
+	harsh := table.Rows[len(table.Rows)-1]
+	if harsh[3] == table.Rows[0][3] {
+		t.Fatalf("harsh fault point matched the clean point exactly: %v", harsh)
+	}
+}
+
+func TestE19ChurnSoak(t *testing.T) {
+	table, err := E19ChurnSoak(quickOpts())
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("expected 2 rows (churn off, churn on), got %d", len(table.Rows))
+	}
+	on := table.Rows[1]
+	if on[1] == "0" {
+		t.Fatalf("churn-on row served no elections: %v", on)
+	}
+	if on[len(on)-1] != "0" {
+		t.Fatalf("churn soak lost admissions: %v", on)
+	}
+	if on[len(on)-3] == "0" {
+		t.Fatalf("churn loop never re-admitted: %v", on)
 	}
 }

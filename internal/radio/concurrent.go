@@ -129,6 +129,18 @@ func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Option
 	g := cfg.Graph()
 	maxRounds := opts.maxRounds()
 
+	// Fault seam, mirrored from the Simulator core: decisions are pure
+	// functions of (seed, round, node), so this independent coordinator
+	// produces faulted histories bit-identical to the Simulator engines.
+	fp, err := opts.plan(n)
+	if err != nil {
+		return nil, err
+	}
+	var depth []int32
+	if fp != nil && len(fp.Outages) > 0 {
+		depth = make([]int32, n)
+	}
+
 	var trace *Trace
 	if opts.RecordTrace {
 		trace = &Trace{}
@@ -189,6 +201,10 @@ func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Option
 			return concResult(metas, round, trace), fmt.Errorf("%w: %d rounds simulated, %d nodes still running", ErrRoundLimit, round, remaining)
 		}
 
+		if depth != nil {
+			fp.applyOutages(round, depth)
+		}
+
 		// Step 1: ask every running node that woke up in an earlier round
 		// for its action; the Act computations run concurrently inside the
 		// node goroutines.
@@ -214,14 +230,18 @@ func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Option
 			}
 		}
 
-		// Step 2: resolve the medium.
+		// Step 2: resolve the medium, skipping outaged endpoints and dropped
+		// deliveries under a fault plan.
 		counts := make([]int, n)
 		single := make([]string, n)
 		for v := 0; v < n; v++ {
-			if !transmitting[v] {
+			if !transmitting[v] || down(depth, v) {
 				continue
 			}
 			for _, w := range g.Neighbors(v) {
+				if fp != nil && (down(depth, w) || fp.dropsDelivery(round, v, w)) {
+					continue
+				}
 				counts[w]++
 				single[w] = messages[v]
 			}
@@ -245,8 +265,12 @@ func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Option
 			if m.awake {
 				continue
 			}
+			cnt, msg := counts[v], single[v]
+			if fp != nil {
+				cnt, msg = fp.perceive(cnt, msg, round, v, depth)
+			}
 			spontaneous := cfg.Tag(v) == round
-			forced := counts[v] == 1
+			forced := cnt == 1
 			if !spontaneous && !forced {
 				continue
 			}
@@ -254,11 +278,11 @@ func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Option
 			m.running = true
 			m.wakeRound = round
 			m.forced = forced
-			entry := wakeEntry(counts[v], single[v])
+			entry := wakeEntry(cnt, msg)
 			spawn(v, entry)
 			if trace != nil {
 				rec.Woke = append(rec.Woke, v)
-				if counts[v] > 0 {
+				if cnt > 0 {
 					rec.Heard[v] = entry
 				}
 			}
@@ -280,11 +304,15 @@ func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Option
 				p = nodePercept{entry: history.Silent()}
 				lastActive = round
 			case drip.Listen:
-				p = nodePercept{entry: listenEntry(counts[v], single[v])}
+				cnt, msg := counts[v], single[v]
+				if fp != nil {
+					cnt, msg = fp.perceive(cnt, msg, round, v, depth)
+				}
+				p = nodePercept{entry: listenEntry(cnt, msg)}
 				if trace != nil && p.entry.Kind != history.Silence {
 					rec.Heard[v] = p.entry
 				}
-				if counts[v] > 0 {
+				if cnt > 0 {
 					lastActive = round
 				}
 			case drip.Terminate:

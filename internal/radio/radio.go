@@ -70,6 +70,13 @@ type Options struct {
 	// the engine's default (GOMAXPROCS for the pool, one goroutine per node
 	// for the legacy coordinator).
 	Workers int
+	// Fault injects seeded, deterministic medium faults — message drops,
+	// spurious collisions, per-node outage windows — into the run; nil (or
+	// an empty plan) is the paper's clean medium and leaves the round loop
+	// untouched. Fault decisions are pure functions of (seed, round, node),
+	// so every engine and executor produces byte-identical faulted
+	// histories for the same plan. See FaultPlan.
+	Fault *FaultPlan
 }
 
 func (o Options) maxRounds() int {

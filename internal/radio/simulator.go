@@ -49,6 +49,7 @@ type Simulator struct {
 	counts       []int32  // transmitting-neighbour count per node
 	single       []string // pending message when counts is exactly 1
 	touched      []int32  // nodes whose counts/single entries are dirty
+	faultDepth   []int32  // per-node outage depth; allocated on first faulted run with outages
 
 	// shardBounds caches the degree-balanced shard boundaries handed to the
 	// pool executor; shardWorkers is the worker count it was computed for
@@ -269,6 +270,20 @@ func (s *Simulator) RunAssigned(protos []drip.Protocol, opts Options) (*Result, 
 // process wake-ups, then record histories and terminations.
 func (s *Simulator) run(opts Options) (*Result, error) {
 	n := s.cfg.N()
+	// Fault seam: fp is nil for a clean medium (including an empty plan), so
+	// the clean path pays exactly one pointer check per guarded step. The
+	// outage-depth scratch is part of the simulator and reused across runs —
+	// faulted steady-state runs allocate nothing either.
+	fp, err := opts.plan(n)
+	if err != nil {
+		return nil, err
+	}
+	var depth []int32
+	if fp != nil && len(fp.Outages) > 0 {
+		s.faultDepth = arena.Grow(s.faultDepth, n)
+		clear(s.faultDepth)
+		depth = s.faultDepth
+	}
 	for v := range s.states {
 		s.states[v] = nodeState{wakeRound: -1, doneLocal: -1, hist: s.states[v].hist[:0]}
 	}
@@ -296,6 +311,10 @@ func (s *Simulator) run(opts Options) (*Result, error) {
 			return s.buildResult(round, trace), fmt.Errorf("%w: %d rounds simulated, %d nodes still running", ErrRoundLimit, round, remaining)
 		}
 
+		if depth != nil {
+			fp.applyOutages(round, depth)
+		}
+
 		// Step 1: every awake, non-terminated node that woke up in an
 		// earlier round consults the protocol for its next action. The
 		// executor decides the schedule of the Act calls (inline loop or
@@ -305,17 +324,39 @@ func (s *Simulator) run(opts Options) (*Result, error) {
 		// Step 2: resolve the radio medium: count transmitting neighbours of
 		// every node and remember the message when the count is exactly one.
 		// Only the neighbourhoods of transmitters are written, and only
-		// those entries are reset at the end of the round.
-		for v := 0; v < n; v++ {
-			if !s.transmitting[v] {
-				continue
-			}
-			for _, w := range s.csr.Neighbors(v) {
-				if s.counts[w] == 0 {
-					s.touched = append(s.touched, w)
+		// those entries are reset at the end of the round. Under a fault
+		// plan, an outaged transmitter delivers nothing, an outaged receiver
+		// counts nothing, and each surviving delivery is independently
+		// dropped; the decisions depend only on (seed, round, v, w), never
+		// on the schedule.
+		if fp == nil {
+			for v := 0; v < n; v++ {
+				if !s.transmitting[v] {
+					continue
 				}
-				s.counts[w]++
-				s.single[w] = s.messages[v]
+				for _, w := range s.csr.Neighbors(v) {
+					if s.counts[w] == 0 {
+						s.touched = append(s.touched, w)
+					}
+					s.counts[w]++
+					s.single[w] = s.messages[v]
+				}
+			}
+		} else {
+			for v := 0; v < n; v++ {
+				if !s.transmitting[v] || down(depth, v) {
+					continue
+				}
+				for _, w := range s.csr.Neighbors(v) {
+					if down(depth, int(w)) || fp.dropsDelivery(round, v, int(w)) {
+						continue
+					}
+					if s.counts[w] == 0 {
+						s.touched = append(s.touched, w)
+					}
+					s.counts[w]++
+					s.single[w] = s.messages[v]
+				}
 			}
 		}
 
@@ -332,24 +373,32 @@ func (s *Simulator) run(opts Options) (*Result, error) {
 
 		// Step 3: wake-ups. A sleeping node wakes spontaneously when the
 		// global round equals its tag, or by force when it receives a
-		// message (exactly one transmitting neighbour).
+		// message (exactly one transmitting neighbour). Faults act on the
+		// node's perception: an outaged node hears silence (no forced wake),
+		// injected noise is a collision (which never wakes, per the model's
+		// corner-case rules); spontaneous tag wake-ups always fire — the
+		// wake-up tag is a clock, not a radio event.
 		for v := 0; v < n; v++ {
 			st := &s.states[v]
 			if st.awake {
 				continue
 			}
+			cnt, msg := int(s.counts[v]), s.single[v]
+			if fp != nil {
+				cnt, msg = fp.perceive(cnt, msg, round, v, depth)
+			}
 			spontaneous := s.cfg.Tag(v) == round
-			forced := s.counts[v] == 1
+			forced := cnt == 1
 			if !spontaneous && !forced {
 				continue
 			}
 			st.awake = true
 			st.wakeRound = round
 			st.forced = forced
-			st.hist = append(st.hist, wakeEntry(int(s.counts[v]), s.single[v]))
+			st.hist = append(st.hist, wakeEntry(cnt, msg))
 			if trace != nil {
 				rec.Woke = append(rec.Woke, v)
-				if s.counts[v] > 0 {
+				if cnt > 0 {
 					rec.Heard[v] = st.hist[0]
 				}
 			}
@@ -368,12 +417,16 @@ func (s *Simulator) run(opts Options) (*Result, error) {
 				st.hist = append(st.hist, history.Silent())
 				lastActive = round
 			case drip.Listen:
-				entry := listenEntry(int(s.counts[v]), s.single[v])
+				cnt, msg := int(s.counts[v]), s.single[v]
+				if fp != nil {
+					cnt, msg = fp.perceive(cnt, msg, round, v, depth)
+				}
+				entry := listenEntry(cnt, msg)
 				st.hist = append(st.hist, entry)
 				if trace != nil && entry.Kind != history.Silence {
 					rec.Heard[v] = entry
 				}
-				if s.counts[v] > 0 {
+				if cnt > 0 {
 					lastActive = round
 				}
 			case drip.Terminate:

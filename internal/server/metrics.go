@@ -14,6 +14,9 @@ const (
 	epElect
 	epElectBatch
 	epEvict
+	epSoakStart
+	epSoakStop
+	epSoakStatus
 	epStats
 	epHealth
 	epCount
@@ -27,6 +30,9 @@ var endpointNames = [epCount]string{
 	epElect:          "POST /v1/elect",
 	epElectBatch:     "POST /v1/elect/batch",
 	epEvict:          "DELETE /v1/configs/{key}",
+	epSoakStart:      "POST /v1/soak/start",
+	epSoakStop:       "POST /v1/soak/stop",
+	epSoakStatus:     "GET /v1/soak/status",
 	epStats:          "GET /v1/stats",
 	epHealth:         "GET /healthz",
 }

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"anonradio/internal/config"
+	"anonradio/internal/service"
+)
+
+// This file exposes the registry's dynamic-churn soak driver
+// (service.ChurnSoak) over HTTP, so a long-running robustness soak — keys
+// evicted and re-admitted through the rebuild-in-place pipeline while
+// elections keep flowing — can be driven and observed from outside the
+// process (experiment E19 and the CI churn-soak smoke both do):
+//
+//	POST /v1/soak/start  start churning the posted entries (409 when a
+//	                     soak is already running)
+//	POST /v1/soak/stop   stop the running soak and return its final counters
+//	GET  /v1/soak/status soak state and counters (running or final)
+//
+// At most one soak runs per server; the soak loop lives in the registry
+// layer and survives on its own if the HTTP server goes away (it terminates
+// when the registry closes). Shutdown stops an active soak before draining,
+// so "server stopped" always implies "churn stopped, every key admitted".
+
+// SoakEntry is one churned key in a soak-start request.
+type SoakEntry struct {
+	// Key is the registry key to churn.
+	Key string `json:"key"`
+	// Config is the configuration re-admitted after each eviction, in the
+	// text format of internal/config (same as /v1/register).
+	Config string `json:"config"`
+}
+
+// SoakStartRequest is the body of POST /v1/soak/start.
+type SoakStartRequest struct {
+	// Entries are the keys to churn; each is cycled evict → re-admit, round
+	// robin, until the soak stops.
+	Entries []SoakEntry `json:"entries"`
+	// IntervalMicros is the pause between consecutive cycles in
+	// microseconds; 0 churns as fast as the admission pipeline allows.
+	IntervalMicros int64 `json:"interval_us,omitempty"`
+}
+
+// SoakStats is the JSON form of the soak counters.
+type SoakStats struct {
+	// Cycles counts completed evict/re-admit cycles across all keys.
+	Cycles int64 `json:"cycles"`
+	// Evictions counts successful evictions.
+	Evictions int64 `json:"evictions"`
+	// Readmissions counts successful re-admissions.
+	Readmissions int64 `json:"readmissions"`
+	// Retries counts re-admission attempts deferred by admission-queue
+	// backpressure and retried.
+	Retries int64 `json:"retries"`
+	// Failures counts re-admissions that failed terminally.
+	Failures int64 `json:"failures"`
+}
+
+// SoakStatusResponse is the body of the soak endpoints' answers.
+type SoakStatusResponse struct {
+	// Active reports whether a soak loop is currently churning.
+	Active bool `json:"active"`
+	// Keys are the churned keys (of the running soak, or the most recently
+	// stopped one).
+	Keys []string `json:"keys,omitempty"`
+	// Stats are the soak counters (live, or final after a stop).
+	Stats SoakStats `json:"stats"`
+}
+
+func soakStatsJSON(st service.ChurnStats) SoakStats {
+	return SoakStats{
+		Cycles:       st.Cycles,
+		Evictions:    st.Evictions,
+		Readmissions: st.Readmissions,
+		Retries:      st.Retries,
+		Failures:     st.Failures,
+	}
+}
+
+func (s *Server) handleSoakStart(w http.ResponseWriter, r *http.Request) {
+	c := jsonCodecs.Get().(*jsonCodec)
+	defer jsonCodecs.Put(c)
+	var req SoakStartRequest
+	if !decodeInto(c, w, r, &req) {
+		return
+	}
+	if len(req.Entries) == 0 {
+		c.write(w, http.StatusBadRequest, ErrorResponse{Error: "missing entries"})
+		return
+	}
+	if req.IntervalMicros < 0 {
+		c.write(w, http.StatusBadRequest, ErrorResponse{Error: "negative interval_us"})
+		return
+	}
+	entries := make([]service.ChurnEntry, len(req.Entries))
+	for i, e := range req.Entries {
+		if e.Key == "" {
+			c.write(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("entry %d: missing key", i)})
+			return
+		}
+		cfg, err := config.Unmarshal(e.Config)
+		if err != nil {
+			c.write(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("entry %d (%q): parsing config: %v", i, e.Key, err)})
+			return
+		}
+		entries[i] = service.ChurnEntry{Key: e.Key, Cfg: cfg}
+	}
+
+	s.soakMu.Lock()
+	defer s.soakMu.Unlock()
+	if s.soak != nil && s.soak.Stats().Running {
+		c.write(w, http.StatusConflict, ErrorResponse{Error: "a soak is already running; stop it first"})
+		return
+	}
+	soak, err := service.StartChurn(s.reg, entries, service.ChurnOptions{
+		Interval: time.Duration(req.IntervalMicros) * time.Microsecond,
+	})
+	if err != nil {
+		s.writeErrorTo(c, w, err)
+		return
+	}
+	s.soak = soak
+	c.write(w, http.StatusOK, SoakStatusResponse{Active: true, Keys: soak.Keys(), Stats: soakStatsJSON(soak.Stats())})
+}
+
+func (s *Server) handleSoakStop(w http.ResponseWriter, r *http.Request) {
+	s.soakMu.Lock()
+	soak := s.soak
+	s.soakMu.Unlock()
+	if soak == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no soak was ever started"})
+		return
+	}
+	soak.Stop() // idempotent; waits for the loop to repair any in-flight eviction
+	writeJSON(w, http.StatusOK, SoakStatusResponse{Active: false, Keys: soak.Keys(), Stats: soakStatsJSON(soak.Stats())})
+}
+
+func (s *Server) handleSoakStatus(w http.ResponseWriter, r *http.Request) {
+	s.soakMu.Lock()
+	soak := s.soak
+	s.soakMu.Unlock()
+	if soak == nil {
+		writeJSON(w, http.StatusOK, SoakStatusResponse{})
+		return
+	}
+	st := soak.Stats()
+	writeJSON(w, http.StatusOK, SoakStatusResponse{Active: st.Running, Keys: soak.Keys(), Stats: soakStatsJSON(st)})
+}
+
+// stopSoak stops an active soak (idempotent); Shutdown calls it so a
+// drained server never leaves a churn loop running behind it.
+func (s *Server) stopSoak() {
+	s.soakMu.Lock()
+	soak := s.soak
+	s.soakMu.Unlock()
+	if soak != nil {
+		soak.Stop()
+	}
+}

@@ -126,6 +126,15 @@ type Options struct {
 	// zero value) or the pre-binary era's indented JSON. Restore always
 	// auto-detects per file, so the option never affects what can be read.
 	SnapshotEncoding Encoding
+	// Fault layers a radio-level fault plan under every served election:
+	// elections run with radio.Options{Fault: Fault}, so the registry serves
+	// the protocol over a seeded lossy medium instead of the paper's clean
+	// one. Faulted elections that elect the wrong leader (or none) fail
+	// verification and count as election failures in Stats — robustness is
+	// observable through the serving stack. The plan is deterministic per
+	// key: repeated elections on one configuration replay identical faults.
+	// nil serves the clean medium at unchanged cost.
+	Fault *radio.FaultPlan
 	// WorkStealing lets an idle shard worker serve queued elections from
 	// the most loaded sibling's election queue, relieving hot-shard skew
 	// when a few hot keys hash onto one shard. Only read-only election
@@ -327,6 +336,7 @@ type Registry struct {
 	buildOnShard bool
 	buildHook    func(key string)
 	snapshotEnc  Encoding
+	fault        *radio.FaultPlan // immutable after construction; nil = clean medium
 
 	// stealKick wakes blocked workers when an election queue grows beyond
 	// one pending op; nil when Options.WorkStealing is disabled (a nil
@@ -418,6 +428,7 @@ func newCore(opts Options) *Registry {
 		closeDone:    make(chan struct{}),
 		trustDigests: opts.TrustCompiledDigests,
 		snapshotEnc:  opts.SnapshotEncoding,
+		fault:        opts.Fault,
 		// The journal hooks into the builder pipeline (appends happen on
 		// builder goroutines, after the install and before the
 		// acknowledgment), so durability forces the pipeline on.
@@ -920,7 +931,7 @@ func (r *Registry) runElect(home *shard, req request, thief *shard) {
 			e.mu.Unlock()
 			e = nil
 		} else {
-			err := d.ElectInto(&e.out, radio.Options{})
+			err := d.ElectInto(&e.out, radio.Options{Fault: r.fault})
 			if err == nil {
 				err = d.Verify(&e.out)
 			}

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anonradio/internal/config"
+)
+
+// This file implements the dynamic-churn soak driver: a background loop
+// that continuously evicts and re-admits a fixed set of keys through the
+// admission pipeline — exercising the rebuild-in-place path (the evicted
+// algorithm enters the retired pool and the re-admission rebuilds into its
+// buffers) — while elections keep being served on every other key and, half
+// the time, on the churning keys themselves. It is the serving-stack
+// counterpart of the radio fault seam: faults perturb the medium, churn
+// perturbs the registry, and both are long-running observables (experiment
+// E19, the /v1/soak endpoints, and the CI churn-soak smoke drive it).
+
+// ChurnEntry names one configuration the soak cycles: the key is evicted
+// and re-admitted with the same configuration, over and over.
+type ChurnEntry struct {
+	// Key is the registry key to churn.
+	Key string
+	// Cfg is the configuration re-admitted after each eviction.
+	Cfg *config.Config
+}
+
+// ChurnOptions configure a soak.
+type ChurnOptions struct {
+	// Interval is the pause between consecutive evict/re-admit cycles of
+	// one key; zero churns as fast as the admission pipeline allows.
+	Interval time.Duration
+}
+
+// ChurnStats is a snapshot of a soak's counters.
+type ChurnStats struct {
+	// Running reports whether the soak loop is still churning.
+	Running bool
+	// Cycles counts completed evict/re-admit cycles across all keys.
+	Cycles int64
+	// Evictions counts successful evictions.
+	Evictions int64
+	// Readmissions counts successful re-admissions.
+	Readmissions int64
+	// Retries counts re-admission attempts deferred by admission-queue
+	// backpressure (ErrAdmissionBusy) and retried.
+	Retries int64
+	// Failures counts re-admissions that failed terminally (infeasible
+	// configuration, registry closed mid-cycle).
+	Failures int64
+}
+
+// ChurnSoak is a running churn loop over one registry. Start one with
+// StartChurn; Stop ends it and waits for the loop to finish its current
+// cycle. All methods are safe for concurrent use.
+type ChurnSoak struct {
+	reg     *Registry
+	entries []ChurnEntry
+	opts    ChurnOptions
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	running      atomic.Bool
+	cycles       atomic.Int64
+	evictions    atomic.Int64
+	readmissions atomic.Int64
+	retries      atomic.Int64
+	failures     atomic.Int64
+}
+
+// StartChurn launches a background loop that cycles every entry through
+// evict → re-admit on reg, forever, until Stop is called or the registry
+// closes. Re-admissions go through the normal admission pipeline, so each
+// cycle retires the evicted algorithm and rebuilds the key in place on its
+// recycled buffers; ErrAdmissionBusy backpressure is retried (counted in
+// ChurnStats.Retries), never dropped, so a stopped soak against a live
+// registry always leaves every key admitted — no lost admissions.
+func StartChurn(reg *Registry, entries []ChurnEntry, opts ChurnOptions) (*ChurnSoak, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("service: nil registry")
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("service: churn soak needs at least one entry")
+	}
+	for i, e := range entries {
+		if e.Key == "" {
+			return nil, fmt.Errorf("service: churn entry %d has an empty key", i)
+		}
+		if e.Cfg == nil {
+			return nil, fmt.Errorf("service: churn entry %d (%q) has a nil configuration", i, e.Key)
+		}
+	}
+	s := &ChurnSoak{
+		reg:     reg,
+		entries: append([]ChurnEntry(nil), entries...),
+		opts:    opts,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.running.Store(true)
+	go s.loop()
+	return s, nil
+}
+
+// loop is the churn goroutine: round-robin over the entries, one
+// evict/re-admit cycle per step. It exits when Stop is called or the
+// registry reports ErrClosed.
+func (s *ChurnSoak) loop() {
+	defer func() {
+		s.running.Store(false)
+		close(s.done)
+	}()
+	for i := 0; ; i = (i + 1) % len(s.entries) {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if !s.cycle(s.entries[i]) {
+			return // registry closed; nothing further can succeed
+		}
+		s.cycles.Add(1)
+		if s.opts.Interval > 0 {
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(s.opts.Interval):
+			}
+		}
+	}
+}
+
+// cycle runs one evict → re-admit pass for the entry. It reports false when
+// the registry has closed. A re-admission that hits admission-queue
+// backpressure is retried until it lands — even across a Stop signal — so
+// an eviction is never left unrepaired on a live registry.
+func (s *ChurnSoak) cycle(e ChurnEntry) bool {
+	if s.reg.isClosed() {
+		return false
+	}
+	if s.reg.Evict(e.Key) {
+		s.evictions.Add(1)
+	} else if s.reg.isClosed() {
+		// Evict reports false on a closed registry; distinguish that from
+		// "key was not present" before deciding to re-admit.
+		return false
+	}
+	for {
+		err := s.reg.Register(e.Key, e.Cfg)
+		switch {
+		case err == nil:
+			s.readmissions.Add(1)
+			return true
+		case errors.Is(err, ErrAdmissionBusy):
+			s.retries.Add(1)
+			time.Sleep(100 * time.Microsecond)
+		case errors.Is(err, ErrClosed):
+			return false
+		default:
+			s.failures.Add(1)
+			return true
+		}
+	}
+}
+
+// Stop ends the soak and waits for the loop to finish its current cycle
+// (including repairing any in-flight eviction). It is idempotent and safe
+// to call concurrently.
+func (s *ChurnSoak) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Stats snapshots the soak's counters.
+func (s *ChurnSoak) Stats() ChurnStats {
+	return ChurnStats{
+		Running:      s.running.Load(),
+		Cycles:       s.cycles.Load(),
+		Evictions:    s.evictions.Load(),
+		Readmissions: s.readmissions.Load(),
+		Retries:      s.retries.Load(),
+		Failures:     s.failures.Load(),
+	}
+}
+
+// Keys returns the churned keys in entry order (a copy).
+func (s *ChurnSoak) Keys() []string {
+	keys := make([]string, len(s.entries))
+	for i, e := range s.entries {
+		keys[i] = e.Key
+	}
+	return keys
+}
