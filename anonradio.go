@@ -34,6 +34,7 @@ import (
 	"anonradio/internal/config"
 	"anonradio/internal/core"
 	"anonradio/internal/election"
+	"anonradio/internal/fleet"
 	"anonradio/internal/graph"
 	"anonradio/internal/harness"
 	"anonradio/internal/history"
@@ -513,6 +514,86 @@ type ServerOptions = server.Options
 // server; stop the server with Shutdown (the service's Close stays the
 // caller's job, typically after a final SnapshotService).
 func NewServer(svc *Service, opts ServerOptions) *Server { return server.New(svc, opts) }
+
+// ServerRegisterResponse is the answer to a registration (key, source —
+// "built", "trusted", "validated" or "artifact" — and admission status).
+type ServerRegisterResponse = server.RegisterResponse
+
+// ServerOutcome is one served election in its HTTP form.
+type ServerOutcome = server.Outcome
+
+// ServerBatchResponse is the answer to a batch election: one outcome per
+// submitted key, in submission order, plus a failure count.
+type ServerBatchResponse = server.BatchResponse
+
+// ServerStatsResponse is the body of GET /v1/stats: shard counters,
+// admission pipeline counters, WAL counters, per-key fault counters (under
+// a fault plan) and per-endpoint request/latency rows.
+type ServerStatsResponse = server.StatsResponse
+
+// ServerAdmissionStatus is the body of GET /v1/register/status/{key} for a
+// polled asynchronous admission.
+type ServerAdmissionStatus = server.AdmissionStatusResponse
+
+// ServerHealthResponse is the body of GET /healthz.
+type ServerHealthResponse = server.HealthResponse
+
+// FleetRing is a rendezvous-hash placement over a set of node names: every
+// key is owned by exactly one node, the mapping is a pure function of the
+// membership (no state to gossip or persist), and adding or removing one
+// node moves only the keys that node gains or loses — never a reshuffle of
+// everyone else's placement.
+type FleetRing = fleet.Ring
+
+// NewFleetRing builds a placement ring over the given node names.
+func NewFleetRing(nodes ...string) *FleetRing { return fleet.NewRing(nodes...) }
+
+// FleetClient talks to one anonradiod over HTTP: register (sync, async,
+// with artifact), elect, batch elect, evict, stats, health, and the
+// artifact-shipping endpoints, in JSON or the binary wire encoding, with
+// the server's status codes mapped back onto the sentinel errors (so
+// errors.Is(err, ErrUnknownKey) works across the network). It is the one
+// client implementation shared by the router daemon, the examples and the
+// CI smokes.
+type FleetClient = fleet.Client
+
+// FleetClientOptions configure a FleetClient (encoding, HTTP transport,
+// retry-on-busy policy); the zero value is ready to use.
+type FleetClientOptions = fleet.ClientOptions
+
+// NewFleetClient builds a client for the node at base ("http://host:port").
+func NewFleetClient(base string, opts FleetClientOptions) *FleetClient {
+	return fleet.NewClient(base, opts)
+}
+
+// Fleet routes registry operations across a ring of anonradiod nodes:
+// registrations and elections go to each key's owning node, batch
+// elections are split per owner and reassembled in submission order, and
+// membership changes migrate keys by shipping their compiled artifacts
+// through the digest-trusted fast path — no recompilation on the receiving
+// node. cmd/anonradio-router is the deployable front door around it.
+type Fleet = fleet.Fleet
+
+// NewFleet builds a fleet over the node base URLs.
+func NewFleet(nodes []string, opts FleetClientOptions) (*Fleet, error) {
+	return fleet.New(nodes, opts)
+}
+
+// FleetRouter is the fleet's HTTP front door: the same /v1/* surface a
+// single node serves, routed per key, plus per-node health probing that
+// drops dead nodes from the ring and re-registers their keys from the
+// configuration cache onto the survivors.
+type FleetRouter = fleet.Router
+
+// FleetRouterOptions configure a FleetRouter (probe cadence and loss
+// threshold, batch and body caps); the zero value is ready to use.
+type FleetRouterOptions = fleet.RouterOptions
+
+// NewFleetRouter builds the front door over f; call Start to begin health
+// probing and Stop to halt it.
+func NewFleetRouter(f *Fleet, opts FleetRouterOptions) *FleetRouter {
+	return fleet.NewRouter(f, opts)
+}
 
 // BuildArena is a reusable scratch arena for building dedicated algorithms:
 // repeated builds reuse the classifier scratch and the canonical-run

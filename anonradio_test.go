@@ -161,7 +161,7 @@ func TestRunExperimentSingle(t *testing.T) {
 
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 20 || ids[0] != "E1" || ids[18] != "E19" || ids[19] != "A1" {
+	if len(ids) != 21 || ids[0] != "E1" || ids[19] != "E20" || ids[20] != "A1" {
 		t.Fatalf("experiment ids wrong: %v", ids)
 	}
 }

@@ -24,6 +24,7 @@
 //	           [-restore-on-boot] [-snapshot-on-shutdown]
 //	           [-shutdown-timeout 10s] [-wal-dir DIR]
 //	           [-wal-sync always|batch|off] [-checkpoint-every 1m]
+//	           [-checkpoint-records N]
 //	           [-snapshot-encoding binary|json] [-wal-encoding binary|json]
 //	           [-work-stealing=false] [-fault-drop P] [-fault-noise P]
 //	           [-fault-seed N] [-fault-outages node:from:to,...]
@@ -119,6 +120,7 @@ func run() int {
 		walDir          = flag.String("wal-dir", "", "admission journal directory; enables durability (replay on boot, journal on admit/evict, background checkpoints)")
 		walSync         = flag.String("wal-sync", "always", "journal fsync policy: always (fsync before acknowledging), batch (group fsync on a short timer), off (OS decides)")
 		checkpointEvery = flag.Duration("checkpoint-every", time.Minute, "background checkpoint interval: snapshot the registry and truncate the journal (0 disables the timer)")
+		checkpointRecs  = flag.Int64("checkpoint-records", 0, "checkpoint once this many journal records accumulate since the last one (0 = automatic pacing proportional to the registry size; negative disables the count trigger)")
 		snapshotEnc     = flag.String("snapshot-encoding", "binary", "artifact encoding of snapshots and checkpoints this daemon writes: binary (compact wire frames) or json (elect -compiled compatible); restore auto-detects either")
 		walEnc          = flag.String("wal-encoding", "binary", "journal record encoding this daemon writes: binary or json; replay auto-detects either, so mixed-era journals boot unchanged")
 		workStealing    = flag.Bool("work-stealing", true, "let idle shard workers steal queued read-only elections from loaded siblings (hot-key relief); mutations always stay on the owning shard")
@@ -173,7 +175,7 @@ func run() int {
 			return 2
 		}
 		start := time.Now()
-		opts.WAL = service.WALOptions{Dir: *walDir, Sync: policy, CheckpointEvery: *checkpointEvery, Encoding: walEncoding}
+		opts.WAL = service.WALOptions{Dir: *walDir, Sync: policy, CheckpointEvery: *checkpointEvery, CheckpointRecords: *checkpointRecs, Encoding: walEncoding}
 		var report *service.RecoveryReport
 		reg, report, err = service.Open(opts)
 		if err != nil {

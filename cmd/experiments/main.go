@@ -21,7 +21,7 @@ func main() {
 	var (
 		quick  = flag.Bool("quick", false, "run reduced parameter sweeps")
 		seed   = flag.Int64("seed", 1, "random seed for all workloads")
-		only   = flag.String("only", "", "run a single experiment (E1..E19, A1)")
+		only   = flag.String("only", "", "run a single experiment (E1..E20, A1)")
 		engine = flag.String("engine", "sequential", "simulation engine for the election experiments: "+anonradio.EngineList())
 		out    = flag.String("o", "", "output file (default: standard output)")
 	)

@@ -1,13 +1,17 @@
-// HTTP client: drive the election server end to end over its JSON API.
+// HTTP client: drive the election server end to end over its HTTP API.
 //
 // This example is the deployment story of the reproduction on the wire: it
 // boots the HTTP election server in-process on a loopback listener (exactly
-// what cmd/anonradiod serves), then talks to it purely over HTTP — register
-// a configuration from its text encoding (synchronously and asynchronously
-// with a polled admission status), serve single and batched elections, read
-// the stats counters, evict — and finally snapshots the registry to disk
-// and restores it into a second server, showing that the restored server
-// answers bit-identically without recompiling anything.
+// what cmd/anonradiod serves), then talks to it purely over HTTP through the
+// fleet client — the same client the fleet router and the CI smokes use —
+// to register a configuration from its text encoding (synchronously and
+// asynchronously with a polled admission status), serve single and batched
+// elections, read the stats counters, and evict. It then snapshots the
+// registry to disk and restores it into a second server, showing that the
+// restored server answers bit-identically without recompiling anything, and
+// finally ships one key's compiled artifact over the migration endpoints
+// (GET /v1/artifact/{key} → POST /v1/admit/artifact) into a third, empty
+// server — the primitive a fleet rebalance is built from.
 //
 // Run with:
 //
@@ -20,12 +24,9 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
@@ -36,78 +37,6 @@ import (
 )
 
 var binaryFlag = flag.Bool("binary", false, "speak the binary wire encoding (frames) instead of JSON on register/elect/batch")
-
-// wireCall POSTs one binary frame and decodes the single response frame,
-// translating error frames into Go errors.
-func wireCall(url string, frame []byte, want anonradio.WireFrameType) ([]byte, error) {
-	resp, err := http.Post(url, anonradio.WireContentType, bytes.NewReader(frame))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	typ, payload, _, err := anonradio.DecodeWireFrame(body)
-	if err != nil {
-		return nil, fmt.Errorf("%s: decoding response frame: %v", url, err)
-	}
-	if typ == anonradio.WireFrameError {
-		var e anonradio.WireErrorMessage
-		if err := e.DecodeFrom(payload); err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("%s: %s (%s)", url, resp.Status, e.Error)
-	}
-	if typ != want {
-		return nil, fmt.Errorf("%s answered a %v frame, want %v", url, typ, want)
-	}
-	return payload, nil
-}
-
-// electWire serves one election over the binary encoding.
-func electWire(base, key string) (anonradio.WireOutcome, error) {
-	frame := anonradio.AppendWireElectRequestFrame(nil, &anonradio.WireElectRequest{Key: key})
-	var out anonradio.WireOutcome
-	payload, err := wireCall(base+"/v1/elect", frame, anonradio.WireFrameOutcome)
-	if err != nil {
-		return out, err
-	}
-	return out, out.DecodeFrom(payload)
-}
-
-// call POSTs a JSON body (or GETs/DELETEs with body nil) and decodes the
-// JSON answer into out.
-func call(method, url string, body, out any) error {
-	var reader *bytes.Reader
-	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		reader = bytes.NewReader(data)
-	} else {
-		reader = bytes.NewReader(nil)
-	}
-	req, err := http.NewRequest(method, url, reader)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("%s %s: %s (%s)", method, url, resp.Status, e.Error)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
-}
 
 // boot starts an election server on a loopback listener and returns its
 // base URL plus a stop function.
@@ -140,88 +69,34 @@ func main() {
 	}
 	fmt.Printf("server: %s (encoding: %s)\n", base, encoding)
 
+	// One client, one encoding; every call below goes through it. The
+	// client retries 429 (admission queue full) honoring Retry-After.
+	client := anonradio.NewFleetClient(base, anonradio.FleetClientOptions{Binary: *binaryFlag})
+
 	// Register a fleet over HTTP: the configuration travels in its text
 	// encoding (the same format cmd/genconfig writes and cmd/elect reads) —
 	// inside a JSON object or a binary register frame, per -binary.
 	keys := []string{}
 	for n := 6; n <= 12; n += 3 {
 		key := fmt.Sprintf("clique-%d", n)
-		cfg := anonradio.StaggeredClique(n)
-		var regKey, regSource string
-		if *binaryFlag {
-			frame, err := anonradio.AppendWireRegisterRequestFrame(nil, &anonradio.WireRegisterRequest{Key: key, Config: cfg.Marshal()})
-			if err != nil {
-				log.Fatal(err)
-			}
-			payload, err := wireCall(base+"/v1/register", frame, anonradio.WireFrameRegisterResponse)
-			if err != nil {
-				log.Fatal(err)
-			}
-			var rr anonradio.WireRegisterResponse
-			if err := rr.DecodeFrom(payload); err != nil {
-				log.Fatal(err)
-			}
-			regKey, regSource = rr.Key, rr.Source
-		} else {
-			var reg struct {
-				Key    string `json:"key"`
-				Source string `json:"source"`
-			}
-			if err := call("POST", base+"/v1/register", map[string]string{"key": key, "config": cfg.Marshal()}, &reg); err != nil {
-				log.Fatal(err)
-			}
-			regKey, regSource = reg.Key, reg.Source
+		rr, err := client.Register(key, anonradio.StaggeredClique(n).Marshal())
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("registered %-10s (source=%s)\n", regKey, regSource)
+		fmt.Printf("registered %-10s (source=%s)\n", rr.Key, rr.Source)
 		keys = append(keys, key)
 	}
 
 	// One election over HTTP.
-	var out struct {
-		Key     string `json:"key"`
-		Elected bool   `json:"elected"`
-		Leader  int    `json:"leader"`
-		Rounds  int    `json:"rounds"`
-	}
-	if *binaryFlag {
-		o, err := electWire(base, keys[0])
-		if err != nil {
-			log.Fatal(err)
-		}
-		out.Key, out.Elected, out.Leader, out.Rounds = o.Key, o.Elected, o.Leader, o.Rounds
-	} else if err := call("POST", base+"/v1/elect", map[string]string{"key": keys[0]}, &out); err != nil {
+	out, err := client.Elect(keys[0])
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("elect %s: leader=%d rounds=%d\n", out.Key, out.Leader, out.Rounds)
 
 	// A batch: one request, fanned out across the shards server-side.
-	var batch struct {
-		Outcomes []struct {
-			Key    string `json:"key"`
-			Leader int    `json:"leader"`
-			Rounds int    `json:"rounds"`
-		} `json:"outcomes"`
-		Failures int `json:"failures"`
-	}
-	if *binaryFlag {
-		frame := anonradio.AppendWireBatchRequestFrame(nil, &anonradio.WireBatchRequest{Keys: keys})
-		payload, err := wireCall(base+"/v1/elect/batch", frame, anonradio.WireFrameBatchResponse)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var br anonradio.WireBatchResponse
-		if err := br.DecodeFrom(payload); err != nil {
-			log.Fatal(err)
-		}
-		batch.Failures = br.Failures
-		for _, o := range br.Outcomes {
-			batch.Outcomes = append(batch.Outcomes, struct {
-				Key    string `json:"key"`
-				Leader int    `json:"leader"`
-				Rounds int    `json:"rounds"`
-			}{o.Key, o.Leader, o.Rounds})
-		}
-	} else if err := call("POST", base+"/v1/elect/batch", map[string][]string{"keys": keys}, &batch); err != nil {
+	batch, err := client.ElectBatch(keys)
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("batch of %d: %d failures\n", len(batch.Outcomes), batch.Failures)
@@ -229,30 +104,15 @@ func main() {
 		fmt.Printf("  %-10s leader=%d rounds=%d\n", o.Key, o.Leader, o.Rounds)
 	}
 
-	// Async admission over the wire: "async": true answers 202 as soon as
-	// the build is queued on the server's builder pool (a full queue would
-	// be 429 — backpressure), and the admission is polled at
-	// /v1/register/status/{key} until it lands.
-	asyncBody, err := json.Marshal(map[string]any{
-		"key": "clique-20", "config": anonradio.StaggeredClique(20).Marshal(), "async": true,
-	})
-	if err != nil {
+	// Async admission: the server answers as soon as the build is queued on
+	// its builder pool (a full queue would be 429 — backpressure), and the
+	// admission is polled at /v1/register/status/{key} until it lands.
+	if _, err := client.RegisterAsync("clique-20", anonradio.StaggeredClique(20).Marshal()); err != nil {
 		log.Fatal(err)
 	}
-	resp, err := http.Post(base+"/v1/register", "application/json", bytes.NewReader(asyncBody))
-	if err != nil {
-		log.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		log.Fatalf("async register: %s, want 202", resp.Status)
-	}
-	var st struct {
-		State string `json:"state"`
-		Error string `json:"error"`
-	}
+	var st anonradio.ServerAdmissionStatus
 	for st.State != "done" && st.State != "failed" {
-		if err := call("GET", base+"/v1/register/status/clique-20", nil, &st); err != nil {
+		if st, err = client.AdmissionStatus("clique-20"); err != nil {
 			log.Fatal(err)
 		}
 		time.Sleep(time.Millisecond)
@@ -262,24 +122,14 @@ func main() {
 
 	// The stats endpoint exposes registry counters and per-endpoint
 	// request/latency counters.
-	var stats struct {
-		Totals struct {
-			Configs   int   `json:"configs"`
-			Elections int64 `json:"elections"`
-		} `json:"totals"`
-		Endpoints []struct {
-			Endpoint string  `json:"endpoint"`
-			Requests int64   `json:"requests"`
-			MeanUs   float64 `json:"mean_us"`
-		} `json:"endpoints"`
-	}
-	if err := call("GET", base+"/v1/stats", nil, &stats); err != nil {
+	stats, err := client.Stats()
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("stats: %d configs, %d elections served\n", stats.Totals.Configs, stats.Totals.Elections)
 	for _, ep := range stats.Endpoints {
 		if ep.Requests > 0 {
-			fmt.Printf("  %-24s %3d requests, mean %.0fµs\n", ep.Endpoint, ep.Requests, ep.MeanUs)
+			fmt.Printf("  %-24s %3d requests, mean %.0fµs\n", ep.Endpoint, ep.Requests, ep.MeanMicros)
 		}
 	}
 
@@ -311,22 +161,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The cross-check deliberately uses the *other* encoding than the rest of
-	// the run: the two wire formats carry the same outcome bit for bit.
-	var out2 struct {
-		Leader int `json:"leader"`
-		Rounds int `json:"rounds"`
-	}
-	if *binaryFlag {
-		if err := call("POST", base2+"/v1/elect", map[string]string{"key": keys[0]}, &out2); err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		o, err := electWire(base2, keys[0])
-		if err != nil {
-			log.Fatal(err)
-		}
-		out2.Leader, out2.Rounds = o.Leader, o.Rounds
+	// The cross-check deliberately uses the *other* encoding than the rest
+	// of the run: the two wire formats carry the same outcome bit for bit.
+	cross := anonradio.NewFleetClient(base2, anonradio.FleetClientOptions{Binary: !*binaryFlag})
+	out2, err := cross.Elect(keys[0])
+	if err != nil {
+		log.Fatal(err)
 	}
 	agree := out2.Leader == out.Leader && out2.Rounds == out.Rounds
 	fmt.Printf("restored server elects %s (cross-encoding): leader=%d rounds=%d (agrees with original: %v)\n",
@@ -335,16 +175,47 @@ func main() {
 		log.Fatal("restored server diverged from the original")
 	}
 
-	// Evict over HTTP and confirm the 404.
-	var ev struct {
-		Evicted bool `json:"evicted"`
-	}
-	if err := call("DELETE", base+"/v1/configs/"+keys[0], nil, &ev); err != nil {
+	// Ship one key's compiled artifact into a third, empty server over the
+	// migration endpoints — the primitive a fleet rebalance is built from.
+	// The receiver admits it through the digest-trusted load: zero
+	// recompilation, identical answers.
+	third := anonradio.NewService(anonradio.ServiceOptions{Shards: 1})
+	defer third.Close()
+	base3, stop3, err := boot(third)
+	if err != nil {
 		log.Fatal(err)
 	}
-	err = call("POST", base+"/v1/elect", map[string]string{"key": keys[0]}, &out)
+	frame, err := client.FetchArtifact(keys[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	shipClient := anonradio.NewFleetClient(base3, anonradio.FleetClientOptions{})
+	if _, err := shipClient.AdmitArtifact(frame); err != nil {
+		log.Fatal(err)
+	}
+	out3, err := shipClient.Elect(keys[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	shipStats, err := shipClient.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shipped %s (%d bytes) to a fresh server: leader=%d rounds=%d, trusted_loads=%d (agrees: %v)\n",
+		keys[0], len(frame), out3.Leader, out3.Rounds, shipStats.Admission.TrustedLoads,
+		out3.Leader == out.Leader && out3.Rounds == out.Rounds)
+	if out3.Leader != out.Leader || out3.Rounds != out.Rounds {
+		log.Fatal("shipped server diverged from the original")
+	}
+
+	// Evict over HTTP and confirm the 404.
+	if err := client.Evict(keys[0]); err != nil {
+		log.Fatal(err)
+	}
+	_, err = client.Elect(keys[0])
 	fmt.Printf("evicted %s; electing it again fails: %v\n", keys[0], err != nil)
 
 	stop()
 	stop2()
+	stop3()
 }

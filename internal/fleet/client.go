@@ -1,0 +1,381 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"anonradio/internal/election"
+	"anonradio/internal/server"
+	"anonradio/internal/service"
+	"anonradio/internal/wire"
+)
+
+// This file is the one client implementation everything that talks to an
+// anonradiod shares: the Fleet router, the anonradio-router daemon, the
+// http-client example and the CI smokes. It speaks both encodings the
+// server negotiates per request — JSON, and the binary wire protocol for
+// the serve path (register/elect/batch) plus the artifact-shipping frames
+// — and maps the server's status codes back onto the service/election
+// sentinel errors, so callers keep using errors.Is(err,
+// service.ErrUnknownKey) across the network boundary exactly as they
+// would in process.
+
+// ClientOptions configure a node client; the zero value is ready to use.
+type ClientOptions struct {
+	// Binary selects the binary wire encoding for the serve-path calls
+	// (register, elect, batch). Stats, health and admission-status are
+	// JSON-only on the server and stay JSON regardless.
+	Binary bool
+	// HTTP is the underlying HTTP client; nil selects http.DefaultClient.
+	HTTP *http.Client
+	// BusyRetries is how many extra attempts a request refused with 429
+	// (service.ErrAdmissionBusy — the admission queue is full) gets, each
+	// sleeping the server's Retry-After first. 0 disables retrying.
+	BusyRetries int
+	// MaxRetryAfter caps the per-attempt Retry-After sleep; <= 0 selects
+	// 2s (the server clamps its own hint to [1s, 60s], but a routing tier
+	// would rather re-ask than stall a full minute on one node).
+	MaxRetryAfter time.Duration
+}
+
+func (o ClientOptions) httpClient() *http.Client {
+	if o.HTTP != nil {
+		return o.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (o ClientOptions) maxRetryAfter() time.Duration {
+	if o.MaxRetryAfter > 0 {
+		return o.MaxRetryAfter
+	}
+	return 2 * time.Second
+}
+
+// Client talks to one anonradiod over HTTP. Create it with NewClient; the
+// zero value is unusable. A Client is safe for concurrent use (its only
+// state is the base URL and options).
+type Client struct {
+	base string
+	opts ClientOptions
+}
+
+// NewClient builds a client for the node at base ("http://host:port", no
+// trailing slash required).
+func NewClient(base string, opts ClientOptions) *Client {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, opts: opts}
+}
+
+// Base returns the node's base URL.
+func (c *Client) Base() string { return c.base }
+
+// APIError is the client-side form of a non-2xx server answer. It unwraps
+// to the service/election sentinel its status maps to (service.ErrUnknownKey,
+// service.ErrAdmissionBusy, service.ErrClosed, election.ErrInfeasible), so
+// errors.Is works across the network boundary.
+type APIError struct {
+	// Node is the base URL of the node that answered.
+	Node string
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error text.
+	Message string
+	// RetryAfter is the parsed Retry-After hint (429 only; 0 when absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("node %s answered %d: %s", e.Node, e.Status, e.Message)
+}
+
+// Unwrap maps the HTTP status back onto the in-process sentinel error.
+func (e *APIError) Unwrap() error {
+	switch e.Status {
+	case http.StatusNotFound:
+		return service.ErrUnknownKey
+	case http.StatusTooManyRequests:
+		return service.ErrAdmissionBusy
+	case http.StatusServiceUnavailable:
+		return service.ErrClosed
+	case http.StatusUnprocessableEntity:
+		return election.ErrInfeasible
+	}
+	return nil
+}
+
+// retryAfter parses a Retry-After header (the server only emits the
+// delta-seconds form).
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// roundTrip posts body (or issues a bodiless method) and returns the
+// response body, status and Retry-After hint, retrying 429s per the
+// options. The returned error is non-nil only for transport failures;
+// HTTP-level failures come back as a body + status for the caller to
+// decode in its encoding.
+func (c *Client) roundTrip(method, path, contentType string, body []byte) ([]byte, int, time.Duration, error) {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("fleet: building %s %s: %w", method, path, err)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.opts.httpClient().Do(req)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("fleet: %s %s%s: %w", method, c.base, path, err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("fleet: reading %s%s response: %w", c.base, path, err)
+		}
+		ra := retryAfter(resp)
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.opts.BusyRetries {
+			wait := ra
+			if max := c.opts.maxRetryAfter(); wait <= 0 || wait > max {
+				wait = max
+			}
+			time.Sleep(wait)
+			continue
+		}
+		return data, resp.StatusCode, ra, nil
+	}
+}
+
+// apiErr decodes a non-2xx JSON body into an APIError.
+func (c *Client) apiErr(data []byte, status int, ra time.Duration) error {
+	var er server.ErrorResponse
+	msg := string(data)
+	if err := json.Unmarshal(data, &er); err == nil && er.Error != "" {
+		msg = er.Error
+	}
+	return &APIError{Node: c.base, Status: status, Message: msg, RetryAfter: ra}
+}
+
+// callJSON round-trips one JSON request; out may be nil.
+func (c *Client) callJSON(method, path string, in, out any) error {
+	var body []byte
+	contentType := ""
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("fleet: encoding %s %s request: %w", method, path, err)
+		}
+		body, contentType = b, "application/json"
+	}
+	data, status, ra, err := c.roundTrip(method, path, contentType, body)
+	if err != nil {
+		return err
+	}
+	if status < 200 || status >= 300 {
+		return c.apiErr(data, status, ra)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("fleet: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// callBinary posts one wire frame and returns the payload of the response
+// frame of type want; error frames (and non-frame bodies) become errors
+// with the status mapping applied.
+func (c *Client) callBinary(path string, frame []byte, want wire.FrameType) ([]byte, error) {
+	data, status, ra, err := c.roundTrip(http.MethodPost, path, server.ContentTypeBinary, frame)
+	if err != nil {
+		return nil, err
+	}
+	typ, payload, rest, derr := wire.DecodeFrame(data)
+	if status < 200 || status >= 300 {
+		msg := string(data)
+		if derr == nil && typ == wire.FrameError {
+			var em wire.ErrorMessage
+			if em.DecodeFrom(payload) == nil {
+				msg = em.Error
+			}
+		}
+		return nil, &APIError{Node: c.base, Status: status, Message: msg, RetryAfter: ra}
+	}
+	if derr != nil {
+		return nil, fmt.Errorf("fleet: decoding %s response frame: %w", path, derr)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("fleet: %s response carries trailing data after the frame", path)
+	}
+	if typ != want {
+		return nil, fmt.Errorf("fleet: %s answered a %v frame, want %v", path, typ, want)
+	}
+	return payload, nil
+}
+
+// Healthz probes GET /healthz.
+func (c *Client) Healthz() (server.HealthResponse, error) {
+	var h server.HealthResponse
+	err := c.callJSON(http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Register admits cfgText (the internal/config text format) under key,
+// synchronously, in the configured encoding.
+func (c *Client) Register(key, cfgText string) (server.RegisterResponse, error) {
+	return c.register(key, cfgText, nil, false)
+}
+
+// RegisterArtifact admits a pre-compiled artifact under key; validation
+// policy is the node's (its -trust-artifacts flag).
+func (c *Client) RegisterArtifact(key, cfgText string, artifact *election.Compiled) (server.RegisterResponse, error) {
+	return c.register(key, cfgText, artifact, false)
+}
+
+// RegisterAsync queues the admission and returns the 202 response; poll
+// AdmissionStatus for the outcome.
+func (c *Client) RegisterAsync(key, cfgText string) (server.RegisterResponse, error) {
+	return c.register(key, cfgText, nil, true)
+}
+
+func (c *Client) register(key, cfgText string, artifact *election.Compiled, async bool) (server.RegisterResponse, error) {
+	if c.opts.Binary {
+		frame, err := wire.AppendRegisterRequestFrame(nil, &wire.RegisterRequest{
+			Key: key, Config: cfgText, Artifact: artifact, Async: async,
+		})
+		if err != nil {
+			return server.RegisterResponse{}, fmt.Errorf("fleet: encoding register frame: %w", err)
+		}
+		payload, err := c.callBinary("/v1/register", frame, wire.FrameRegisterResponse)
+		if err != nil {
+			return server.RegisterResponse{}, err
+		}
+		var wr wire.RegisterResponse
+		if err := wr.DecodeFrom(payload); err != nil {
+			return server.RegisterResponse{}, fmt.Errorf("fleet: decoding register response: %w", err)
+		}
+		return server.RegisterResponse{Key: wr.Key, Source: wr.Source, Status: wr.Status, StatusURL: wr.StatusURL}, nil
+	}
+	var resp server.RegisterResponse
+	err := c.callJSON(http.MethodPost, "/v1/register", server.RegisterRequest{
+		Key: key, Config: cfgText, Artifact: artifact, Async: async,
+	}, &resp)
+	return resp, err
+}
+
+// AdmissionStatus polls GET /v1/register/status/{key}.
+func (c *Client) AdmissionStatus(key string) (server.AdmissionStatusResponse, error) {
+	var resp server.AdmissionStatusResponse
+	err := c.callJSON(http.MethodGet, "/v1/register/status/"+url.PathEscape(key), nil, &resp)
+	return resp, err
+}
+
+// Elect serves one election for key in the configured encoding.
+func (c *Client) Elect(key string) (server.Outcome, error) {
+	if c.opts.Binary {
+		frame := wire.AppendElectRequestFrame(nil, &wire.ElectRequest{Key: key})
+		payload, err := c.callBinary("/v1/elect", frame, wire.FrameOutcome)
+		if err != nil {
+			return server.Outcome{}, err
+		}
+		var wo wire.Outcome
+		if err := wo.DecodeFrom(payload); err != nil {
+			return server.Outcome{}, fmt.Errorf("fleet: decoding outcome: %w", err)
+		}
+		return outcomeFromWire(wo), nil
+	}
+	var out server.Outcome
+	err := c.callJSON(http.MethodPost, "/v1/elect", server.ElectRequest{Key: key}, &out)
+	return out, err
+}
+
+// ElectBatch serves one election per key; outcome i corresponds to
+// keys[i], with per-key failures in their outcome slot (as on the server).
+func (c *Client) ElectBatch(keys []string) (server.BatchResponse, error) {
+	if c.opts.Binary {
+		frame := wire.AppendBatchRequestFrame(nil, &wire.BatchRequest{Keys: keys})
+		payload, err := c.callBinary("/v1/elect/batch", frame, wire.FrameBatchResponse)
+		if err != nil {
+			return server.BatchResponse{}, err
+		}
+		var wb wire.BatchResponse
+		if err := wb.DecodeFrom(payload); err != nil {
+			return server.BatchResponse{}, fmt.Errorf("fleet: decoding batch response: %w", err)
+		}
+		resp := server.BatchResponse{Outcomes: make([]server.Outcome, len(wb.Outcomes)), Failures: wb.Failures}
+		for i, wo := range wb.Outcomes {
+			resp.Outcomes[i] = outcomeFromWire(wo)
+		}
+		return resp, nil
+	}
+	var resp server.BatchResponse
+	err := c.callJSON(http.MethodPost, "/v1/elect/batch", server.BatchRequest{Keys: keys}, &resp)
+	return resp, err
+}
+
+func outcomeFromWire(wo wire.Outcome) server.Outcome {
+	return server.Outcome{Key: wo.Key, Elected: wo.Elected, Leader: wo.Leader, Rounds: wo.Rounds, Error: wo.Error}
+}
+
+// Evict removes key from the node.
+func (c *Client) Evict(key string) error {
+	return c.callJSON(http.MethodDelete, "/v1/configs/"+url.PathEscape(key), nil, nil)
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats() (server.StatsResponse, error) {
+	var st server.StatsResponse
+	err := c.callJSON(http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// FetchArtifact exports key's compiled artifact from the node as one
+// binary WAL-admit frame — the fleet migration unit — verbatim, ready to
+// hand to AdmitArtifact on another node.
+func (c *Client) FetchArtifact(key string) ([]byte, error) {
+	data, status, ra, err := c.roundTrip(http.MethodGet, "/v1/artifact/"+url.PathEscape(key), "", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status < 200 || status >= 300 {
+		return nil, c.apiErr(data, status, ra)
+	}
+	// Sanity-check the frame now: shipping a corrupt artifact to the
+	// receiving node would fail there with a less attributable error.
+	typ, _, rest, derr := wire.DecodeFrame(data)
+	if derr != nil || typ != wire.FrameWALAdmit || len(rest) != 0 {
+		return nil, fmt.Errorf("fleet: node %s served an invalid artifact frame for %q", c.base, key)
+	}
+	return data, nil
+}
+
+// AdmitArtifact admits a WAL-admit frame (as served by FetchArtifact) on
+// the node through the digest-trusted load fast path — no recompilation
+// when the digest verifies.
+func (c *Client) AdmitArtifact(frame []byte) (server.RegisterResponse, error) {
+	payload, err := c.callBinary("/v1/admit/artifact", frame, wire.FrameRegisterResponse)
+	if err != nil {
+		return server.RegisterResponse{}, err
+	}
+	var wr wire.RegisterResponse
+	if err := wr.DecodeFrom(payload); err != nil {
+		return server.RegisterResponse{}, fmt.Errorf("fleet: decoding admit response: %w", err)
+	}
+	return server.RegisterResponse{Key: wr.Key, Source: wr.Source, Status: wr.Status}, nil
+}

@@ -1,0 +1,300 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"anonradio/internal/config"
+	"anonradio/internal/server"
+	"anonradio/internal/service"
+)
+
+// newTestNodes boots n single-node daemons (registry + HTTP server) and
+// returns their base URLs plus handles for poking node internals and
+// killing nodes mid-test.
+func newTestNodes(t *testing.T, n int) ([]string, map[string]*service.Registry, map[string]*httptest.Server) {
+	t.Helper()
+	urls := make([]string, n)
+	regs := make(map[string]*service.Registry, n)
+	servers := make(map[string]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		reg := service.New(service.Options{Shards: 2})
+		t.Cleanup(reg.Close)
+		ts := httptest.NewServer(server.New(reg, server.Options{}).Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+		regs[ts.URL] = reg
+		servers[ts.URL] = ts
+	}
+	return urls, regs, servers
+}
+
+// cfgFor deals out a varied mix of configuration families so keys have
+// genuinely different election outcomes.
+func cfgFor(i int) *config.Config {
+	switch i % 4 {
+	case 0:
+		return config.StaggeredClique(5 + i%7)
+	case 1:
+		return config.StaggeredPath(6+i%5, 2)
+	case 2:
+		return config.LineFamilyG(2 + i%3)
+	default:
+		return config.EarlyCenterStar(5+i%4, 2)
+	}
+}
+
+func fleetKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fk-%03d", i)
+	}
+	return keys
+}
+
+// registerFleet admits keys through the fleet and returns them.
+func registerFleet(t *testing.T, f *Fleet, n int) []string {
+	t.Helper()
+	keys := fleetKeys(n)
+	for i, key := range keys {
+		if rr, err := f.Register(key, cfgFor(i).Marshal()); err != nil {
+			t.Fatalf("register %s: %v", key, err)
+		} else if rr.Status != "admitted" {
+			t.Fatalf("register %s: %+v", key, rr)
+		}
+	}
+	return keys
+}
+
+// TestFleetBitIdenticalToSingleNode is the fleet acceptance criterion: the
+// same configurations admitted to a three-node fleet and to one local
+// registry produce identical election outcomes, key by key, both for single
+// elections and through the split-and-reassemble batch path.
+func TestFleetBitIdenticalToSingleNode(t *testing.T) {
+	urls, _, _ := newTestNodes(t, 3)
+	f, err := New(urls, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := registerFleet(t, f, 12)
+
+	single := service.New(service.Options{Shards: 1})
+	t.Cleanup(single.Close)
+	for i, key := range keys {
+		if err := single.Register(key, cfgFor(i)); err != nil {
+			t.Fatalf("single register %s: %v", key, err)
+		}
+	}
+
+	owners := map[string]bool{}
+	for _, key := range keys {
+		owners[f.Owner(key)] = true
+		want, err := single.Elect(key)
+		if err != nil {
+			t.Fatalf("single elect %s: %v", key, err)
+		}
+		got, err := f.Elect(key)
+		if err != nil {
+			t.Fatalf("fleet elect %s: %v", key, err)
+		}
+		if got.Leader != want.Leader || got.Rounds != want.Rounds {
+			t.Fatalf("%s: fleet outcome (%d, %d) != single-node outcome (%d, %d)",
+				key, got.Leader, got.Rounds, want.Leader, want.Rounds)
+		}
+	}
+	if len(owners) < 2 {
+		t.Fatalf("12 keys all landed on one node of three: %v", owners)
+	}
+
+	batch, err := f.ElectBatch(keys)
+	if err != nil {
+		t.Fatalf("fleet batch: %v", err)
+	}
+	if len(batch.Outcomes) != len(keys) || batch.Failures != 0 {
+		t.Fatalf("batch: %d outcomes, %d failures", len(batch.Outcomes), batch.Failures)
+	}
+	for i, key := range keys {
+		out := batch.Outcomes[i]
+		if out.Key != key {
+			t.Fatalf("batch slot %d holds %q, want %q", i, out.Key, key)
+		}
+		want, _ := single.Elect(key)
+		if out.Leader != want.Leader || out.Rounds != want.Rounds {
+			t.Fatalf("batch %s: (%d, %d) != single-node (%d, %d)",
+				key, out.Leader, out.Rounds, want.Leader, want.Rounds)
+		}
+	}
+}
+
+// TestFleetElectBatchReassembly is the ordering property for the batch
+// splitter: keys interleaved across owners, duplicated, and even unknown
+// come back in exactly the submitted order, with per-key failures confined
+// to their own slots.
+func TestFleetElectBatchReassembly(t *testing.T) {
+	urls, _, _ := newTestNodes(t, 3)
+	f, err := New(urls, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := registerFleet(t, f, 9)
+
+	// Submission order deliberately interleaves owners, repeats keys, and
+	// plants an unregistered key in the middle.
+	submit := []string{
+		keys[8], keys[0], keys[4], keys[0], "ghost-key",
+		keys[7], keys[4], keys[1], keys[8], keys[2],
+	}
+	batch, err := f.ElectBatch(submit)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(batch.Outcomes) != len(submit) {
+		t.Fatalf("batch returned %d outcomes for %d keys", len(batch.Outcomes), len(submit))
+	}
+	if batch.Failures != 1 {
+		t.Fatalf("batch failures = %d, want 1 (the ghost key)", batch.Failures)
+	}
+	for i, key := range submit {
+		out := batch.Outcomes[i]
+		if out.Key != key {
+			t.Fatalf("slot %d holds %q, want %q — reassembly broke submission order", i, out.Key, key)
+		}
+		if key == "ghost-key" {
+			if out.Error == "" || out.Elected {
+				t.Fatalf("ghost slot lacks its failure: %+v", out)
+			}
+			continue
+		}
+		if out.Error != "" || !out.Elected {
+			t.Fatalf("%s failed in batch: %+v", key, out)
+		}
+		// Duplicates and singletons alike must match a direct election.
+		direct, err := f.Elect(key)
+		if err != nil {
+			t.Fatalf("direct elect %s: %v", key, err)
+		}
+		if out.Leader != direct.Leader || out.Rounds != direct.Rounds {
+			t.Fatalf("%s: batch (%d, %d) != direct (%d, %d)",
+				key, out.Leader, out.Rounds, direct.Leader, direct.Rounds)
+		}
+	}
+}
+
+// TestFleetAddNodeShipsArtifacts is the migration acceptance criterion:
+// growing the ring moves every rehomed key by shipping its compiled
+// artifact — the receiver's trusted-load counter equals the move count
+// (zero recompilation), sources are evicted, and every key's election
+// outcome survives the move bit-identically.
+func TestFleetAddNodeShipsArtifacts(t *testing.T) {
+	urls, regs, _ := newTestNodes(t, 3)
+	f, err := New(urls[:2], ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := registerFleet(t, f, 30)
+
+	before := make(map[string]server.Outcome, len(keys))
+	for _, key := range keys {
+		out, err := f.Elect(key)
+		if err != nil {
+			t.Fatalf("pre-move elect %s: %v", key, err)
+		}
+		before[key] = out
+	}
+
+	report, err := f.AddNode(urls[2])
+	if err != nil {
+		t.Fatalf("add node: %v", err)
+	}
+	if len(report.Moves) == 0 {
+		t.Fatal("adding a third node moved no keys out of 30")
+	}
+	if report.Failed != 0 || report.Rebuilt != 0 || report.Shipped != len(report.Moves) {
+		t.Fatalf("moves not all shipped: %+v", report)
+	}
+	for _, mv := range report.Moves {
+		if mv.To != urls[2] || !mv.Shipped || mv.Error != "" {
+			t.Fatalf("move %+v: only the new node may gain keys, via shipping", mv)
+		}
+	}
+
+	// Zero recompilation on the receiver: every admission there was a
+	// digest-trusted load of a shipped artifact.
+	if got := regs[urls[2]].AdmissionStats().TrustedLoads; got != int64(len(report.Moves)) {
+		t.Fatalf("receiver TrustedLoads = %d, want %d (one per move)", got, len(report.Moves))
+	}
+	// Sources evicted: each key lives on exactly one node.
+	total := 0
+	for _, reg := range regs {
+		total += reg.Len()
+	}
+	if total != len(keys) {
+		t.Fatalf("%d configurations across the fleet after rebalance, want %d", total, len(keys))
+	}
+
+	for _, key := range keys {
+		out, err := f.Elect(key)
+		if err != nil {
+			t.Fatalf("post-move elect %s: %v", key, err)
+		}
+		if want := before[key]; out.Leader != want.Leader || out.Rounds != want.Rounds {
+			t.Fatalf("%s: outcome changed across migration: (%d, %d) -> (%d, %d)",
+				key, want.Leader, want.Rounds, out.Leader, out.Rounds)
+		}
+	}
+}
+
+// TestFleetDropNodeRecovers pins the loss path: when a node dies without a
+// goodbye, DropNode re-registers its keys from the configuration cache onto
+// the survivors (full rebuilds — the compiled copies died with the node)
+// and every key keeps serving the same outcomes.
+func TestFleetDropNodeRecovers(t *testing.T) {
+	urls, _, servers := newTestNodes(t, 3)
+	f, err := New(urls, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := registerFleet(t, f, 30)
+
+	before := make(map[string]server.Outcome, len(keys))
+	ownedByLost := 0
+	lost := f.Owner(keys[0])
+	for _, key := range keys {
+		out, err := f.Elect(key)
+		if err != nil {
+			t.Fatalf("pre-loss elect %s: %v", key, err)
+		}
+		before[key] = out
+		if f.Owner(key) == lost {
+			ownedByLost++
+		}
+	}
+
+	servers[lost].Close() // kill the node: no drain, no goodbye
+
+	report, err := f.DropNode(lost)
+	if err != nil {
+		t.Fatalf("drop node: %v", err)
+	}
+	if len(report.Moves) != ownedByLost {
+		t.Fatalf("dropped node owned %d keys but %d moved", ownedByLost, len(report.Moves))
+	}
+	if report.Failed != 0 || report.Shipped != 0 || report.Rebuilt != len(report.Moves) {
+		t.Fatalf("loss recovery should rebuild everything from the cache: %+v", report)
+	}
+	if f.Ring().Contains(lost) {
+		t.Fatal("lost node still in the ring")
+	}
+
+	for _, key := range keys {
+		out, err := f.Elect(key)
+		if err != nil {
+			t.Fatalf("post-loss elect %s: %v", key, err)
+		}
+		if want := before[key]; out.Leader != want.Leader || out.Rounds != want.Rounds {
+			t.Fatalf("%s: outcome changed across node loss: (%d, %d) -> (%d, %d)",
+				key, want.Leader, want.Rounds, out.Leader, out.Rounds)
+		}
+	}
+}

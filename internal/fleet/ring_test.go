@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return keys
+}
+
+// TestRingDeterminism pins that placement is a pure function of membership:
+// insertion order, duplicates, and empty entries do not change ownership.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing("n1", "n2", "n3")
+	b := NewRing("n3", "", "n1", "n2", "n2")
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("ring sizes %d / %d, want 3 / 3", a.Len(), b.Len())
+	}
+	for _, key := range ringKeys(500) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("%s: owner differs under insertion order: %s vs %s",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingSpread sanity-checks that a three-node ring actually uses all
+// three nodes — rendezvous hashing should land roughly a third of the keys
+// on each.
+func TestRingSpread(t *testing.T) {
+	r := NewRing("n1", "n2", "n3")
+	counts := map[string]int{}
+	keys := ringKeys(3000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	for _, node := range r.Nodes() {
+		got := counts[node]
+		if got < len(keys)/6 {
+			t.Fatalf("%s owns only %d of %d keys: %v", node, got, len(keys), counts)
+		}
+	}
+}
+
+// TestRingMinimalMovementAdd is the rendezvous property the fleet's
+// migration cost model rests on: adding a node moves only the keys that node
+// gains — every key whose owner changed is now owned by the new node.
+func TestRingMinimalMovementAdd(t *testing.T) {
+	before := NewRing("n1", "n2", "n3")
+	after := before.With("n4")
+	moved := 0
+	for _, key := range ringKeys(3000) {
+		was, is := before.Owner(key), after.Owner(key)
+		if was != is {
+			moved++
+			if is != "n4" {
+				t.Fatalf("%s moved %s -> %s, but only n4 may gain keys", key, was, is)
+			}
+		}
+	}
+	// Expect roughly a quarter of the keyspace to land on the new node.
+	if moved == 0 || moved > 3000/2 {
+		t.Fatalf("adding one node to three moved %d of 3000 keys", moved)
+	}
+}
+
+// TestRingMinimalMovementRemove is the inverse property: removing a node
+// moves exactly that node's keys, and no one else's.
+func TestRingMinimalMovementRemove(t *testing.T) {
+	before := NewRing("n1", "n2", "n3")
+	after := before.Without("n2")
+	for _, key := range ringKeys(3000) {
+		was, is := before.Owner(key), after.Owner(key)
+		if was == "n2" {
+			if is == "n2" {
+				t.Fatalf("%s still owned by removed node", key)
+			}
+		} else if was != is {
+			t.Fatalf("%s moved %s -> %s although its owner survived", key, was, is)
+		}
+	}
+	if !before.Contains("n2") || after.Contains("n2") {
+		t.Fatal("Contains disagrees with membership")
+	}
+}
+
+// TestRingEmptyOwnerPanics pins the contract that routing against an empty
+// ring is a programming error, not a silent misroute.
+func TestRingEmptyOwnerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Owner on an empty ring did not panic")
+		}
+	}()
+	NewRing().Owner("key")
+}

@@ -1,0 +1,256 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"anonradio/internal/config"
+	"anonradio/internal/fleet"
+	"anonradio/internal/server"
+	"anonradio/internal/service"
+)
+
+// fleetNode is one in-process anonradiod: a registry behind an HTTP server
+// on a loopback listener, with a hard-kill switch for the recovery phase.
+type fleetNode struct {
+	reg  *service.Registry
+	srv  *server.Server
+	url  string
+	done chan error
+}
+
+func bootFleetNode() (*fleetNode, error) {
+	reg := service.New(service.Options{Shards: 2})
+	srv := server.New(reg, server.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		reg.Close()
+		return nil, err
+	}
+	n := &fleetNode{reg: reg, srv: srv, url: "http://" + l.Addr().String(), done: make(chan error, 1)}
+	go func() { n.done <- srv.Serve(l) }()
+	return n, nil
+}
+
+// kill drops the node without a drain — the harness's kill -9: the
+// already-expired context makes Shutdown close the listener and every idle
+// connection immediately instead of waiting for a graceful drain.
+func (n *fleetNode) kill() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = n.srv.Shutdown(ctx)
+	<-n.done
+	n.reg.Close()
+}
+
+func (n *fleetNode) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = n.srv.Shutdown(ctx)
+	cancel()
+	<-n.done
+	n.reg.Close()
+}
+
+// E20FleetServing measures the fleet layer end to end: the cost of the
+// routing front door (elections through the router vs directly to the
+// owning node), the latency of artifact-shipping key migration (growing the
+// ring from two nodes to three), and the recovery time after killing one of
+// the three nodes without a drain. Every phase re-checks all keys against
+// the outcomes recorded before any membership change, so the table doubles
+// as the fleet's bit-identical acceptance check; the migration phase also
+// asserts that every move shipped its compiled artifact (the receiver's
+// trusted-load counter equals the move count — zero recompilation).
+func E20FleetServing(opts Options) (*Table, error) {
+	nCfgs, elections := 24, 1500
+	if opts.Quick {
+		nCfgs, elections = 8, 150
+	}
+
+	nodes := make([]*fleetNode, 3)
+	alive := make(map[string]*fleetNode, 3)
+	for i := range nodes {
+		n, err := bootFleetNode()
+		if err != nil {
+			return nil, fmt.Errorf("E20 boot node %d: %w", i, err)
+		}
+		nodes[i] = n
+		alive[n.url] = n
+	}
+	defer func() {
+		for _, n := range alive {
+			n.stop()
+		}
+	}()
+
+	// The fleet starts on two of the three nodes; the third joins in the
+	// migration phase.
+	f, err := fleet.New([]string{nodes[0].url, nodes[1].url}, fleet.ClientOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("E20 fleet: %w", err)
+	}
+	keys := make([]string, nCfgs)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cfg-%d", i)
+		var cfg *config.Config
+		if i%2 == 0 {
+			cfg = config.StaggeredClique(8 + i%8)
+		} else {
+			cfg = config.StaggeredPath(8+i%8, 2)
+		}
+		if _, err := f.Register(keys[i], cfg.Marshal()); err != nil {
+			return nil, fmt.Errorf("E20 register %s: %w", keys[i], err)
+		}
+	}
+
+	// The router front door on its own listener, with the probe loop off:
+	// membership changes in this experiment are explicit and timed.
+	rt := fleet.NewRouter(f, fleet.RouterOptions{})
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("E20 router listen: %w", err)
+	}
+	routerSrv := &http.Server{Handler: rt.Handler()}
+	routerDone := make(chan error, 1)
+	go func() { routerDone <- routerSrv.Serve(rl) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = routerSrv.Shutdown(ctx)
+		cancel()
+		<-routerDone
+	}()
+	routed := fleet.NewClient("http://"+rl.Addr().String(), fleet.ClientOptions{})
+
+	// Reference outcomes, recorded before any membership change; every
+	// later phase must reproduce them bit for bit.
+	want := make(map[string]server.Outcome, nCfgs)
+	for _, key := range keys {
+		out, err := f.Elect(key)
+		if err != nil {
+			return nil, fmt.Errorf("E20 reference elect %s: %w", key, err)
+		}
+		want[key] = out
+	}
+	agree := func(via func(string) (server.Outcome, error)) (bool, error) {
+		for _, key := range keys {
+			out, err := via(key)
+			if err != nil {
+				return false, err
+			}
+			if w := want[key]; out.Leader != w.Leader || out.Rounds != w.Rounds {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	table := NewTable("E20: Fleet serving, migration and recovery",
+		"phase", "detail", "count", "total", "per-item", "agree")
+
+	// Serving: direct to the owning node vs through the router.
+	start := time.Now()
+	directAgree := true
+	for i := 0; i < elections; i++ {
+		key := keys[i%nCfgs]
+		out, err := f.Elect(key)
+		if err != nil {
+			return nil, fmt.Errorf("E20 direct elect: %w", err)
+		}
+		if w := want[key]; out.Leader != w.Leader || out.Rounds != w.Rounds {
+			directAgree = false
+		}
+	}
+	direct := time.Since(start)
+	directPer := direct / time.Duration(elections)
+	table.AddRow("serve", "direct to owner", fmt.Sprintf("%d", elections),
+		direct.Round(time.Millisecond).String(), directPer.Round(100*time.Nanosecond).String(),
+		fmt.Sprintf("%v", directAgree))
+
+	start = time.Now()
+	routedAgree := true
+	for i := 0; i < elections; i++ {
+		key := keys[i%nCfgs]
+		out, err := routed.Elect(key)
+		if err != nil {
+			return nil, fmt.Errorf("E20 routed elect: %w", err)
+		}
+		if w := want[key]; out.Leader != w.Leader || out.Rounds != w.Rounds {
+			routedAgree = false
+		}
+	}
+	routedTotal := time.Since(start)
+	routedPer := routedTotal / time.Duration(elections)
+	table.AddRow("serve", fmt.Sprintf("via router (%.2fx direct)", float64(routedPer)/float64(directPer)),
+		fmt.Sprintf("%d", elections), routedTotal.Round(time.Millisecond).String(),
+		routedPer.Round(100*time.Nanosecond).String(), fmt.Sprintf("%v", routedAgree))
+	if !directAgree || !routedAgree {
+		return nil, fmt.Errorf("E20: serving diverged from reference outcomes")
+	}
+
+	// Migration: the third node joins; every rehomed key must ship its
+	// compiled artifact (no recompilation on the receiver).
+	start = time.Now()
+	report, err := f.AddNode(nodes[2].url)
+	if err != nil {
+		return nil, fmt.Errorf("E20 add node: %w", err)
+	}
+	migration := time.Since(start)
+	if report.Failed != 0 || report.Shipped != len(report.Moves) {
+		return nil, fmt.Errorf("E20: migration not fully shipped: %+v", report)
+	}
+	if got := nodes[2].reg.AdmissionStats().TrustedLoads; got != int64(len(report.Moves)) {
+		return nil, fmt.Errorf("E20: receiver trusted loads %d != %d moves (recompilation happened)", got, len(report.Moves))
+	}
+	perKey := time.Duration(0)
+	if len(report.Moves) > 0 {
+		perKey = migration / time.Duration(len(report.Moves))
+	}
+	ok, err := agree(routed.Elect)
+	if err != nil {
+		return nil, fmt.Errorf("E20 post-migration elect: %w", err)
+	}
+	table.AddRow("migrate", "add 3rd node (artifact ship)", fmt.Sprintf("%d keys", len(report.Moves)),
+		migration.Round(time.Millisecond).String(), perKey.Round(10*time.Microsecond).String(),
+		fmt.Sprintf("%v", ok))
+	if !ok {
+		return nil, fmt.Errorf("E20: outcomes changed across migration")
+	}
+
+	// Recovery: kill one of the three nodes without a drain; the fleet
+	// re-registers its keys from the configuration cache onto the
+	// survivors.
+	lost := f.Owner(keys[0])
+	alive[lost].kill()
+	delete(alive, lost)
+	start = time.Now()
+	report, err = f.DropNode(lost)
+	if err != nil {
+		return nil, fmt.Errorf("E20 drop node: %w", err)
+	}
+	recovery := time.Since(start)
+	if report.Failed != 0 || report.Rebuilt != len(report.Moves) {
+		return nil, fmt.Errorf("E20: loss recovery not fully rebuilt: %+v", report)
+	}
+	perKey = time.Duration(0)
+	if len(report.Moves) > 0 {
+		perKey = recovery / time.Duration(len(report.Moves))
+	}
+	ok, err = agree(routed.Elect)
+	if err != nil {
+		return nil, fmt.Errorf("E20 post-recovery elect: %w", err)
+	}
+	table.AddRow("recover", "kill 1 of 3 (cache rebuild)", fmt.Sprintf("%d keys", len(report.Moves)),
+		recovery.Round(time.Millisecond).String(), perKey.Round(10*time.Microsecond).String(),
+		fmt.Sprintf("%v", ok))
+	if !ok {
+		return nil, fmt.Errorf("E20: outcomes changed across node loss")
+	}
+
+	table.AddNote("3 loopback nodes (2 shards each) + 1 router process; placement by rendezvous hashing")
+	table.AddNote("serve: routed adds one HTTP hop over direct-to-owner; both re-check every outcome against the pre-change reference")
+	table.AddNote("migrate: per-item is the per-key artifact ship (export + digest-trusted admit + source evict); trusted-load counter pins zero recompilation")
+	table.AddNote("recover: per-item is the per-key rebuild from the router's configuration cache after an undrained kill")
+	return table, nil
+}

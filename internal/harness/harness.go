@@ -85,6 +85,7 @@ func All() []Experiment {
 		{ID: "E17", Name: "Hot-shard relief (work stealing under zipf skew; rebuild-in-place churn)", Run: E17HotShardRelief},
 		{ID: "E18", Name: "Faulted medium (outcome vs drop/noise rate, all engines)", Run: E18FaultedMedium},
 		{ID: "E19", Name: "HTTP churn soak (elections under evict/re-admit churn, WAL on)", Run: E19ChurnSoak},
+		{ID: "E20", Name: "Fleet serving, migration and recovery (router vs direct; artifact ship; node loss)", Run: E20FleetServing},
 		{ID: "A1", Name: "Ablation: Refine implementation (representative scan vs hashing)", Run: A1RefineAblation},
 	}
 }

@@ -30,8 +30,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestAllAndLookup(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("expected 20 experiments, got %d", len(all))
+	if len(all) != 21 {
+		t.Fatalf("expected 21 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -333,5 +333,20 @@ func TestE19ChurnSoak(t *testing.T) {
 	}
 	if on[len(on)-3] == "0" {
 		t.Fatalf("churn loop never re-admitted: %v", on)
+	}
+}
+
+func TestE20FleetServing(t *testing.T) {
+	table, err := E20FleetServing(quickOpts())
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("expected 4 rows (2 serve, migrate, recover), got %d", len(table.Rows))
+	}
+	for i, row := range table.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("row %d not bit-identical to the reference outcomes: %v", i, row)
+		}
 	}
 }

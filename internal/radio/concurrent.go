@@ -140,6 +140,11 @@ func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Option
 	if fp != nil && len(fp.Outages) > 0 {
 		depth = make([]int32, n)
 	}
+	// Injected-fault accounting, identical to the Simulator core's: every
+	// count site runs on this coordinator goroutine, so plain counters are
+	// race-free and the two engine families report identical FaultStats.
+	var fs FaultStats
+	downNow := 0
 
 	var trace *Trace
 	if opts.RecordTrace {
@@ -198,11 +203,12 @@ func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Option
 	for round := 0; remaining > 0; round++ {
 		if round >= maxRounds {
 			shutdown()
-			return concResult(metas, round, trace), fmt.Errorf("%w: %d rounds simulated, %d nodes still running", ErrRoundLimit, round, remaining)
+			return concResult(metas, round, trace, fs), fmt.Errorf("%w: %d rounds simulated, %d nodes still running", ErrRoundLimit, round, remaining)
 		}
 
 		if depth != nil {
-			fp.applyOutages(round, depth)
+			downNow += fp.applyOutages(round, depth)
+			fs.OutageRounds += int64(downNow)
 		}
 
 		// Step 1: ask every running node that woke up in an earlier round
@@ -239,8 +245,14 @@ func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Option
 				continue
 			}
 			for _, w := range g.Neighbors(v) {
-				if fp != nil && (down(depth, w) || fp.dropsDelivery(round, v, w)) {
-					continue
+				if fp != nil {
+					if down(depth, w) {
+						continue
+					}
+					if fp.dropsDelivery(round, v, w) {
+						fs.Drops++
+						continue
+					}
 				}
 				counts[w]++
 				single[w] = messages[v]
@@ -267,7 +279,7 @@ func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Option
 			}
 			cnt, msg := counts[v], single[v]
 			if fp != nil {
-				cnt, msg = fp.perceive(cnt, msg, round, v, depth)
+				cnt, msg = fp.perceive(cnt, msg, round, v, depth, &fs)
 			}
 			spontaneous := cfg.Tag(v) == round
 			forced := cnt == 1
@@ -306,7 +318,7 @@ func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Option
 			case drip.Listen:
 				cnt, msg := counts[v], single[v]
 				if fp != nil {
-					cnt, msg = fp.perceive(cnt, msg, round, v, depth)
+					cnt, msg = fp.perceive(cnt, msg, round, v, depth, &fs)
 				}
 				p = nodePercept{entry: listenEntry(cnt, msg)}
 				if trace != nil && p.entry.Kind != history.Silence {
@@ -357,14 +369,14 @@ func (GoroutinePerNode) Run(cfg *config.Config, proto drip.Protocol, opts Option
 	}
 
 	wg.Wait()
-	return concResult(metas, lastActive+1, trace), nil
+	return concResult(metas, lastActive+1, trace, fs), nil
 }
 
 // concResult assembles the Result from the coordinator's bookkeeping. For
 // nodes that never terminated (round-limit case) the history still held by
 // the node goroutine is unavailable, so their recorded history is empty;
 // callers treat ErrRoundLimit results as diagnostic only.
-func concResult(metas []concMeta, rounds int, trace *Trace) *Result {
+func concResult(metas []concMeta, rounds int, trace *Trace, fs FaultStats) *Result {
 	n := len(metas)
 	res := &Result{
 		Histories:    make([]history.Vector, n),
@@ -373,6 +385,7 @@ func concResult(metas []concMeta, rounds int, trace *Trace) *Result {
 		DoneLocal:    make([]int, n),
 		GlobalRounds: rounds,
 		Trace:        trace,
+		Faults:       fs,
 	}
 	for v := range metas {
 		res.Histories[v] = metas[v].hist

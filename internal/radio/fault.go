@@ -143,19 +143,27 @@ func (p *FaultPlan) injectsNoise(round, v int) bool {
 // this round lowers it. depth[v] > 0 means node v's radio is off. Depth
 // counting (instead of a boolean) keeps overlapping windows of one node
 // correct. The caller owns depth (all-zero before round 0) and the cost is
-// O(len(Outages)) per round, independent of n.
-func (p *FaultPlan) applyOutages(round int, depth []int32) {
+// O(len(Outages)) per round, independent of n. The returned delta is the
+// change in the number of distinct nodes currently down, so the engines can
+// keep a running down-count for FaultStats.OutageRounds without an O(n)
+// sweep per round.
+func (p *FaultPlan) applyOutages(round int, depth []int32) (delta int) {
 	for _, o := range p.Outages {
 		if o.From >= o.To {
 			continue // empty window
 		}
 		if o.From == round {
-			depth[o.Node]++
+			if depth[o.Node]++; depth[o.Node] == 1 {
+				delta++
+			}
 		}
 		if o.To == round {
-			depth[o.Node]--
+			if depth[o.Node]--; depth[o.Node] == 0 {
+				delta--
+			}
 		}
 	}
+	return delta
 }
 
 // down reports whether node v's radio is off this round, given the outage
@@ -169,12 +177,15 @@ func down(depth []int32, v int) bool {
 // node actually observes under the plan: silence during an outage, a
 // collision when noise is injected (count forced to >= 2, so a forced
 // wake-up — which requires exactly one audible transmitter — cannot
-// happen), the truth otherwise.
-func (p *FaultPlan) perceive(count int, msg string, round, v int, depth []int32) (int, string) {
+// happen), the truth otherwise. A perceived noise injection is tallied in
+// fs; outage silence is not (FaultStats.OutageRounds counts node-rounds
+// down, maintained from applyOutages deltas, not perceptions).
+func (p *FaultPlan) perceive(count int, msg string, round, v int, depth []int32, fs *FaultStats) (int, string) {
 	if down(depth, v) {
 		return 0, ""
 	}
 	if p.injectsNoise(round, v) {
+		fs.Noise++
 		return count + 2, ""
 	}
 	return count, msg

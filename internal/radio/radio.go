@@ -86,6 +86,28 @@ func (o Options) maxRounds() int {
 	return o.MaxRounds
 }
 
+// FaultStats counts the faults a run actually injected (not the plan's
+// rates): deliveries lost to the drop rate, spurious collisions perceived,
+// and node-rounds spent inside an outage window. All zero on a clean medium.
+// The counts are schedule-independent, like the fault decisions themselves:
+// every engine and executor reports identical stats for the same plan.
+type FaultStats struct {
+	// Drops counts deliveries (one transmitter, one neighbour, one round)
+	// lost to the drop rate. Deliveries silenced by an outage are not drops.
+	Drops int64
+	// Noise counts spurious collisions actually perceived by a node (at a
+	// wake-up check or a Listen); an injection at a node that was
+	// transmitting that round is never perceived and never counted.
+	Noise int64
+	// OutageRounds counts node-rounds with the radio off (a node down for
+	// five rounds contributes five).
+	OutageRounds int64
+}
+
+// Total folds the three counters into one number, for quick "was anything
+// injected" checks.
+func (f FaultStats) Total() int64 { return f.Drops + f.Noise + f.OutageRounds }
+
 // Result is the outcome of executing a protocol on a configuration.
 type Result struct {
 	// Histories[v] is the complete history vector of node v, indexed by
@@ -102,6 +124,9 @@ type Result struct {
 	GlobalRounds int
 	// Trace is the per-round transcript; nil unless Options.RecordTrace.
 	Trace *Trace
+	// Faults counts the faults the run injected; all zero on a clean medium
+	// (no fault plan, or an empty one).
+	Faults FaultStats
 }
 
 // Engine executes a protocol on a configuration.

@@ -284,6 +284,11 @@ func (s *Simulator) run(opts Options) (*Result, error) {
 		clear(s.faultDepth)
 		depth = s.faultDepth
 	}
+	// Injected-fault accounting for Result.Faults; all zero on the clean
+	// path (and left untouched by it). downNow tracks how many nodes are
+	// currently inside an outage window, from applyOutages deltas.
+	var fs FaultStats
+	downNow := 0
 	for v := range s.states {
 		s.states[v] = nodeState{wakeRound: -1, doneLocal: -1, hist: s.states[v].hist[:0]}
 	}
@@ -308,11 +313,12 @@ func (s *Simulator) run(opts Options) (*Result, error) {
 
 	for round := 0; remaining > 0; round++ {
 		if round >= maxRounds {
-			return s.buildResult(round, trace), fmt.Errorf("%w: %d rounds simulated, %d nodes still running", ErrRoundLimit, round, remaining)
+			return s.buildResult(round, trace, fs), fmt.Errorf("%w: %d rounds simulated, %d nodes still running", ErrRoundLimit, round, remaining)
 		}
 
 		if depth != nil {
-			fp.applyOutages(round, depth)
+			downNow += fp.applyOutages(round, depth)
+			fs.OutageRounds += int64(downNow)
 		}
 
 		// Step 1: every awake, non-terminated node that woke up in an
@@ -348,7 +354,11 @@ func (s *Simulator) run(opts Options) (*Result, error) {
 					continue
 				}
 				for _, w := range s.csr.Neighbors(v) {
-					if down(depth, int(w)) || fp.dropsDelivery(round, v, int(w)) {
+					if down(depth, int(w)) {
+						continue
+					}
+					if fp.dropsDelivery(round, v, int(w)) {
+						fs.Drops++
 						continue
 					}
 					if s.counts[w] == 0 {
@@ -385,7 +395,7 @@ func (s *Simulator) run(opts Options) (*Result, error) {
 			}
 			cnt, msg := int(s.counts[v]), s.single[v]
 			if fp != nil {
-				cnt, msg = fp.perceive(cnt, msg, round, v, depth)
+				cnt, msg = fp.perceive(cnt, msg, round, v, depth, &fs)
 			}
 			spontaneous := s.cfg.Tag(v) == round
 			forced := cnt == 1
@@ -419,7 +429,7 @@ func (s *Simulator) run(opts Options) (*Result, error) {
 			case drip.Listen:
 				cnt, msg := int(s.counts[v]), s.single[v]
 				if fp != nil {
-					cnt, msg = fp.perceive(cnt, msg, round, v, depth)
+					cnt, msg = fp.perceive(cnt, msg, round, v, depth, &fs)
 				}
 				entry := listenEntry(cnt, msg)
 				st.hist = append(st.hist, entry)
@@ -454,7 +464,7 @@ func (s *Simulator) run(opts Options) (*Result, error) {
 		s.touched = s.touched[:0]
 	}
 
-	return s.buildResult(lastActive+1, trace), nil
+	return s.buildResult(lastActive+1, trace, fs), nil
 }
 
 // actRange performs the action step for the contiguous node range [lo, hi):
@@ -480,7 +490,7 @@ func (s *Simulator) actRange(round, lo, hi int) {
 }
 
 // buildResult assembles the reusable Result from the final node states.
-func (s *Simulator) buildResult(rounds int, trace *Trace) *Result {
+func (s *Simulator) buildResult(rounds int, trace *Trace, fs FaultStats) *Result {
 	n := len(s.states)
 	res := &s.res
 	res.Histories = arena.Grow(res.Histories, n)
@@ -489,6 +499,7 @@ func (s *Simulator) buildResult(rounds int, trace *Trace) *Result {
 	res.DoneLocal = arena.Grow(res.DoneLocal, n)
 	res.GlobalRounds = rounds
 	res.Trace = trace
+	res.Faults = fs
 	for v := range s.states {
 		res.Histories[v] = s.states[v].hist
 		res.WakeRound[v] = s.states[v].wakeRound

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"anonradio/internal/config"
+	"anonradio/internal/radio"
+	"anonradio/internal/service"
+	"anonradio/internal/wire"
+)
+
+// getRaw fetches path without decoding, for binary responses.
+func getRaw(t *testing.T, ts *httptest.Server, path string) *http.Response {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return resp
+}
+
+// TestArtifactShipBetweenServers is the HTTP half of the fleet migration
+// acceptance criterion: a compiled key exported from one server and admitted
+// on another via POST /v1/admit/artifact serves bit-identical elections, and
+// the receiver's trusted_loads counter proves no recompilation happened.
+func TestArtifactShipBetweenServers(t *testing.T) {
+	_, src := newTestServer(t)
+
+	dstReg := service.New(service.Options{Shards: 2})
+	t.Cleanup(dstReg.Close)
+	dst := httptest.NewServer(New(dstReg, Options{}).Handler())
+	t.Cleanup(dst.Close)
+
+	shipped := 0
+	for key := range testConfigs() {
+		resp := getRaw(t, src, "/v1/artifact/"+key)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("export %s: status %d", key, resp.StatusCode)
+		}
+		typ, payload := readFrame(t, resp)
+		if typ != wire.FrameWALAdmit {
+			t.Fatalf("export %s: frame %v, want WAL-admit", key, typ)
+		}
+		var rec wire.WALAdmit
+		if err := rec.DecodeFrom(payload); err != nil {
+			t.Fatalf("export %s: decoding record: %v", key, err)
+		}
+		if rec.Key != key || rec.Artifact == nil || rec.Artifact.ArtifactDigest == "" {
+			t.Fatalf("export %s: incomplete record %+v", key, rec.Key)
+		}
+
+		frame, err := wire.AppendWALAdmitFrame(nil, &rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		admitResp := postBinary(t, dst, "/v1/admit/artifact", frame)
+		if admitResp.StatusCode != http.StatusOK {
+			t.Fatalf("admit %s: status %d", key, admitResp.StatusCode)
+		}
+		typ, payload = readFrame(t, admitResp)
+		var rr wire.RegisterResponse
+		if typ != wire.FrameRegisterResponse || rr.DecodeFrom(payload) != nil {
+			t.Fatalf("admit %s: frame %v", key, typ)
+		}
+		if rr.Key != key || rr.Source != "artifact" || rr.Status != "admitted" {
+			t.Fatalf("admit %s: %+v", key, rr)
+		}
+		shipped++
+	}
+
+	// Zero recompilation: every admission on the receiver went through the
+	// digest-trusted load.
+	var stats StatsResponse
+	if resp := getJSON(t, dst, "/v1/stats", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	if stats.Admission.TrustedLoads != int64(shipped) {
+		t.Fatalf("trusted_loads = %d after %d shipped admissions, want %d",
+			stats.Admission.TrustedLoads, shipped, shipped)
+	}
+
+	// Bit-identical elections on both sides.
+	for key := range testConfigs() {
+		var want, got Outcome
+		if resp := postJSON(t, src, "/v1/elect", ElectRequest{Key: key}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("source elect %s: status %d", key, resp.StatusCode)
+		} else {
+			decodeBody(t, resp, &want)
+		}
+		if resp := postJSON(t, dst, "/v1/elect", ElectRequest{Key: key}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("dest elect %s: status %d", key, resp.StatusCode)
+		} else {
+			decodeBody(t, resp, &got)
+		}
+		if got.Leader != want.Leader || got.Rounds != want.Rounds {
+			t.Fatalf("%s: shipped outcome (%d, %d) != source outcome (%d, %d)",
+				key, got.Leader, got.Rounds, want.Leader, want.Rounds)
+		}
+	}
+}
+
+// TestArtifactEndpointErrors pins the failure surface of the two artifact
+// endpoints: unknown keys 404, JSON bodies on the binary-only admit endpoint
+// 415, and malformed frames 400.
+func TestArtifactEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp := getRaw(t, ts, "/v1/artifact/absent")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("export of unknown key: status %d, want 404", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts, "/v1/admit/artifact", map[string]string{"key": "x"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("JSON admit: status %d, want 415", resp.StatusCode)
+	}
+
+	resp = postBinary(t, ts, "/v1/admit/artifact", []byte{0xde, 0xad, 0xbe, 0xef})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage admit: status %d, want 400", resp.StatusCode)
+	}
+
+	// A structurally valid frame of the wrong type is still a bad request.
+	frame, err := wire.AppendRegisterRequestFrame(nil, &wire.RegisterRequest{Key: "k", Config: config.StaggeredClique(4).Marshal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = postBinary(t, ts, "/v1/admit/artifact", frame)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-frame admit: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStatsFaultKeys pins the fault_keys stats rows: a server over a faulted
+// registry reports one row per key with election counts, while a clean
+// server omits the field entirely.
+func TestStatsFaultKeys(t *testing.T) {
+	reg := service.New(service.Options{
+		Shards: 2,
+		Fault:  &radio.FaultPlan{Seed: 11, Drop: 0.15, Noise: 0.05},
+	})
+	t.Cleanup(reg.Close)
+	ts := httptest.NewServer(New(reg, Options{}).Handler())
+	t.Cleanup(ts.Close)
+
+	for _, key := range []string{"fa", "fb"} {
+		if err := reg.Register(key, config.StaggeredClique(8)); err != nil {
+			t.Fatalf("register %s: %v", key, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for _, key := range []string{"fa", "fb"} {
+			resp := postJSON(t, ts, "/v1/elect", ElectRequest{Key: key})
+			resp.Body.Close() // a faulted election may fail; counters still move
+		}
+	}
+
+	var stats StatsResponse
+	if resp := getJSON(t, ts, "/v1/stats", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	if len(stats.FaultKeys) != 2 {
+		t.Fatalf("fault_keys has %d rows, want 2: %+v", len(stats.FaultKeys), stats.FaultKeys)
+	}
+	for _, fk := range stats.FaultKeys {
+		if fk.Key != "fa" && fk.Key != "fb" {
+			t.Fatalf("unexpected fault row key %q", fk.Key)
+		}
+		if fk.Elections < 1 {
+			t.Fatalf("%s: no elections accounted: %+v", fk.Key, fk)
+		}
+	}
+
+	_, clean := newTestServer(t)
+	var cleanStats StatsResponse
+	getJSON(t, clean, "/v1/stats", &cleanStats)
+	if cleanStats.FaultKeys != nil {
+		t.Fatalf("clean server reports fault_keys: %+v", cleanStats.FaultKeys)
+	}
+}

@@ -14,6 +14,8 @@ const (
 	epElect
 	epElectBatch
 	epEvict
+	epArtifactExport
+	epAdmitArtifact
 	epSoakStart
 	epSoakStop
 	epSoakStatus
@@ -30,6 +32,8 @@ var endpointNames = [epCount]string{
 	epElect:          "POST /v1/elect",
 	epElectBatch:     "POST /v1/elect/batch",
 	epEvict:          "DELETE /v1/configs/{key}",
+	epArtifactExport: "GET /v1/artifact/{key}",
+	epAdmitArtifact:  "POST /v1/admit/artifact",
 	epSoakStart:      "POST /v1/soak/start",
 	epSoakStop:       "POST /v1/soak/stop",
 	epSoakStatus:     "GET /v1/soak/status",

@@ -13,9 +13,15 @@
 //	POST   /v1/elect/batch           serve one election per key, batched
 //	                                 onto Registry.ElectBatch
 //	DELETE /v1/configs/{key}         evict a key
+//	GET    /v1/artifact/{key}        export a key's compiled artifact as one
+//	                                 binary frame (the fleet migration unit)
+//	POST   /v1/admit/artifact        admit such a frame via the
+//	                                 digest-trusted load — no recompilation
 //	GET    /v1/stats                 per-shard registry counters, admission
-//	                                 pipeline counters and per-endpoint
-//	                                 request/latency/outcome counters
+//	                                 pipeline counters, per-key fault
+//	                                 counters (under fault injection) and
+//	                                 per-endpoint request/latency/outcome
+//	                                 counters
 //	GET    /healthz                  liveness from cached atomic counters —
 //	                                 never enters a shard queue
 //
@@ -109,6 +115,8 @@ func New(reg *service.Registry, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/elect", s.instrument(epElect, s.handleElect))
 	s.mux.HandleFunc("POST /v1/elect/batch", s.instrument(epElectBatch, s.handleElectBatch))
 	s.mux.HandleFunc("DELETE /v1/configs/{key...}", s.instrument(epEvict, s.handleEvict))
+	s.mux.HandleFunc("GET /v1/artifact/{key...}", s.instrument(epArtifactExport, s.handleArtifactExport))
+	s.mux.HandleFunc("POST /v1/admit/artifact", s.instrument(epAdmitArtifact, s.handleAdmitArtifact))
 	s.mux.HandleFunc("POST /v1/soak/start", s.instrument(epSoakStart, s.handleSoakStart))
 	s.mux.HandleFunc("POST /v1/soak/stop", s.instrument(epSoakStop, s.handleSoakStop))
 	s.mux.HandleFunc("GET /v1/soak/status", s.instrument(epSoakStatus, s.handleSoakStatus))
@@ -293,6 +301,30 @@ type AdmissionStats struct {
 	Failed int64 `json:"failed"`
 	// Rejected counts registrations refused with 429 (queue full).
 	Rejected int64 `json:"rejected"`
+	// TrustedLoads counts admissions adopted through the digest-trusted load
+	// fast path (shipped artifacts, snapshot restores, journal replays) —
+	// the zero-recompilation counter a fleet migration is asserted against.
+	TrustedLoads int64 `json:"trusted_loads"`
+	// RebuildHits counts builds that reused a retired algorithm's buffers
+	// from the size-bucketed retired pool instead of allocating fresh ones.
+	RebuildHits int64 `json:"rebuild_hits"`
+}
+
+// KeyFaultStats mirrors service.KeyFaultStats with JSON tags: one key's
+// accumulated injected-fault observations, served by GET /v1/stats when the
+// registry runs under a fault plan.
+type KeyFaultStats struct {
+	// Key is the registry key.
+	Key string `json:"key"`
+	// Elections counts fault-accounted elections served for the key.
+	Elections int64 `json:"elections"`
+	// Drops counts message deliveries the fault plan suppressed.
+	Drops int64 `json:"drops"`
+	// Noise counts perceptions the fault plan corrupted into collisions.
+	Noise int64 `json:"noise"`
+	// OutageRounds accumulates, per round, the number of nodes held down by
+	// an outage window.
+	OutageRounds int64 `json:"outage_rounds"`
 }
 
 // WALStats mirrors service.WALStats with JSON tags: the admission
@@ -342,6 +374,10 @@ type StatsResponse struct {
 	// WAL holds the admission journal counters (Enabled is false on a
 	// non-durable registry).
 	WAL WALStats `json:"wal"`
+	// FaultKeys holds per-key injected-fault counters, one row per
+	// registered key; present only when the registry runs under a fault
+	// plan (see service.Options.Fault).
+	FaultKeys []KeyFaultStats `json:"fault_keys,omitempty"`
 	// Endpoints holds the per-endpoint request/latency/outcome counters.
 	Endpoints []EndpointStats `json:"endpoints"`
 }
@@ -639,6 +675,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Completed:     ast.Completed,
 			Failed:        ast.Failed,
 			Rejected:      ast.Rejected,
+			TrustedLoads:  ast.TrustedLoads,
+			RebuildHits:   ast.RebuildHits,
 		},
 		WAL: WALStats{
 			Enabled:                wst.Enabled,
@@ -658,6 +696,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, st := range stats {
 		resp.Shards[i] = shardStatsJSON(st)
+	}
+	if fks, err := s.reg.FaultKeyStats(); err == nil {
+		for _, fk := range fks {
+			resp.FaultKeys = append(resp.FaultKeys, KeyFaultStats{
+				Key:          fk.Key,
+				Elections:    fk.Elections,
+				Drops:        fk.Drops,
+				Noise:        fk.Noise,
+				OutageRounds: fk.OutageRounds,
+			})
+		}
 	}
 	for ep := endpoint(0); ep < epCount; ep++ {
 		resp.Endpoints = append(resp.Endpoints, s.metrics[ep].snapshot(ep))

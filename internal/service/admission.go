@@ -90,6 +90,18 @@ type AdmissionStats struct {
 	Failed int64
 	// Rejected counts registrations refused with ErrAdmissionBusy.
 	Rejected int64
+	// TrustedLoads counts admissions adopted through the digest-trusted
+	// load fast path (election.LoadTrusted with a verifying digest): shipped
+	// fleet artifacts (RegisterShipped), snapshot restores, journal replays,
+	// and RegisterCompiled under Options.TrustCompiledDigests. A migration
+	// with zero recompilation on the receiver shows up here as one trusted
+	// load and zero new builds.
+	TrustedLoads int64
+	// RebuildHits counts builds that reused a retired algorithm's buffers
+	// (rebuild-in-place) instead of allocating fresh ones; the retired pool
+	// is bucketed by configuration size class, so churn across several
+	// shapes still hits.
+	RebuildHits int64
 }
 
 // admissionRecord tracks one admission's progress. The submitting call
@@ -173,6 +185,8 @@ func (r *Registry) AdmissionStats() AdmissionStats {
 		Completed:     r.admCompleted.Load(),
 		Failed:        r.admFailed.Load(),
 		Rejected:      r.admRejected.Load(),
+		TrustedLoads:  r.trustedLoads.Load(),
+		RebuildHits:   r.rebuildHits.Load(),
 	}
 }
 
@@ -262,6 +276,9 @@ func (r *Registry) admit(arena *election.BuildArena, job admission) {
 	switch {
 	case job.compiled != nil && (job.trust == trustDigest || (job.trust == trustRegistry && r.trustDigests)):
 		d, err = election.LoadTrusted(job.compiled, job.cfg)
+		if err == nil {
+			r.trustedLoads.Add(1)
+		}
 	case job.compiled != nil:
 		d, err = election.Load(job.compiled, job.cfg)
 	default:
@@ -308,10 +325,11 @@ func (r *Registry) admit(arena *election.BuildArena, job admission) {
 // memory that snapshot artifacts alias (lists, phase table), so they are
 // fenced behind the snapshot's writer lock.
 func (r *Registry) buildDedicated(arena *election.BuildArena, cfg *config.Config) (*election.Dedicated, error) {
-	prev := r.takeRetired()
+	prev := r.takeRetired(cfg)
 	if prev == nil {
 		return election.BuildDedicatedInto(arena, cfg)
 	}
+	r.rebuildHits.Add(1)
 	r.snapMu.RLock()
 	defer r.snapMu.RUnlock()
 	return arena.RebuildInto(prev, cfg)

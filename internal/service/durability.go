@@ -62,8 +62,14 @@ type WALOptions struct {
 	// triggers or explicit Checkpoint calls).
 	CheckpointEvery time.Duration
 	// CheckpointRecords triggers a background checkpoint once that many
-	// records accumulated in the journal since the last one; 0 disables
-	// the count trigger.
+	// records accumulated in the journal since the last one. 0 (the
+	// default) selects automatic pacing: the threshold tracks the registry
+	// size as clamp(4×registered configurations, 64, 8192), so the journal
+	// a crash would replay stays proportional to the state a checkpoint
+	// rewrites — small registries checkpoint cheaply and often, large ones
+	// amortize the snapshot cost over more appends. A negative value
+	// disables the count trigger entirely (the journal then only truncates
+	// on the timer or explicit Checkpoint calls).
 	CheckpointRecords int64
 	// Encoding selects the journal record encoding that gets *written*:
 	// EncodingBinary (the default) appends wire frames, EncodingJSON the
@@ -235,7 +241,7 @@ func Open(opts Options) (*Registry, *RecoveryReport, error) {
 	r.checkpointStop = make(chan struct{})
 	r.checkpointWG.Add(1)
 	go r.checkpointer(w.CheckpointEvery)
-	if w.CheckpointRecords > 0 && int64(jr.Records) >= w.CheckpointRecords {
+	if r.checkpointDue(int64(jr.Records)) {
 		r.kickCheckpoint()
 	}
 	return r, report, nil
@@ -406,6 +412,7 @@ func (r *Registry) applyAdmit(key, cfgText string, artifact *election.Compiled, 
 		skip(walOpAdmit, key, fmt.Sprintf("installing: %v", resp.out.Err))
 		return
 	}
+	r.trustedLoads.Add(1)
 	report.Admits++
 }
 
@@ -459,10 +466,31 @@ func (r *Registry) walAppend(payload []byte) error {
 		r.walAppendErrs.Add(1)
 		return err
 	}
-	if n := r.walRecords.Add(1); r.walOpts.CheckpointRecords > 0 && n >= r.walOpts.CheckpointRecords {
+	if r.checkpointDue(r.walRecords.Add(1)) {
 		r.kickCheckpoint()
 	}
 	return nil
+}
+
+// checkpointDue decides whether n un-checkpointed journal records warrant a
+// checkpoint. An explicit CheckpointRecords > 0 is a fixed threshold; a
+// negative value disables the count trigger; 0 paces automatically off the
+// registry's current size, keeping replay-on-crash work proportional to the
+// state a checkpoint rewrites.
+func (r *Registry) checkpointDue(n int64) bool {
+	limit := r.walOpts.CheckpointRecords
+	switch {
+	case limit < 0:
+		return false
+	case limit == 0:
+		limit = 4 * r.configCount.Load()
+		if limit < 64 {
+			limit = 64
+		} else if limit > 8192 {
+			limit = 8192
+		}
+	}
+	return n >= limit
 }
 
 // kickCheckpoint asks the background checkpointer for a checkpoint without

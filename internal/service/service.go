@@ -58,7 +58,9 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -226,7 +228,8 @@ const (
 	opInstall         // O(1) hand-off of a pipeline-built algorithm to its shard
 	opEvict
 	opStats
-	opSnapshot
+	opSnapshot   // gather compiled artifacts (all entries, or request.key only)
+	opFaultStats // gather per-key injected-fault counters
 )
 
 // trustMode selects the artifact-validation path of one registration.
@@ -263,17 +266,41 @@ type response struct {
 	stats   ShardStats
 	evicted bool
 	entries []SnapshotEntry
+	faults  []KeyFaultStats
+}
+
+// KeyFaultStats is the accumulated injected-fault account of one registered
+// key: how many deliveries were dropped, spurious collisions perceived, and
+// node-rounds spent in an outage window across every election served for the
+// key since it was admitted. Counters survive same-key re-admissions (the
+// entry is the unit of accounting) and reset on eviction. Only meaningful
+// when the registry runs a fault plan (Options.Fault); see FaultKeyStats.
+type KeyFaultStats struct {
+	// Key is the registry key.
+	Key string
+	// Elections counts the faulted elections the counters cover (successful
+	// or not — a faulted election that fails verification still observed its
+	// injected faults).
+	Elections int64
+	// Drops counts deliveries lost to the drop rate.
+	Drops int64
+	// Noise counts spurious collisions perceived.
+	Noise int64
+	// OutageRounds counts node-rounds spent with the radio off.
+	OutageRounds int64
 }
 
 // entry is one registered configuration: the dedicated algorithm plus the
 // shard-owned reusable outcome its elections run into. The mutex serializes
 // elections (which may run on a stealing sibling worker) against each other
 // and against installs and evictions; d == nil under the lock marks an
-// evicted entry a thief may still reach through a stale view.
+// evicted entry a thief may still reach through a stale view. The fault
+// counters accumulate under the same mutex, on the faulted path only.
 type entry struct {
-	mu  sync.Mutex
-	d   *election.Dedicated
-	out radio.ElectionOutcome
+	mu     sync.Mutex
+	d      *election.Dedicated
+	out    radio.ElectionOutcome
+	faults KeyFaultStats // Key left empty; filled in at gather time
 }
 
 // shard is the state owned by one worker goroutine. The entries map, arena
@@ -347,8 +374,13 @@ type Registry struct {
 	// admissions (election.RebuildInto): a builder re-admitting a key
 	// reuses a retired algorithm's report, lists, phase table and decision
 	// buffers instead of reallocating them. Only registry-built algorithms
-	// enter the pool (see retire).
-	retired sync.Pool
+	// enter the pool (see retire). The pool is bucketed by configuration
+	// size class (bits.Len of N) so that several shapes churning at once
+	// each hit a retiree of their own magnitude — a single-slot pool
+	// ping-ponged between shapes and handed a 10-node rebuild the buffers
+	// of a 200-node one (or vice versa), wasting either the memory or the
+	// reuse.
+	retired [retiredBuckets]sync.Pool
 	// snapMu fences artifact gathering against rebuild-in-place: snapshots
 	// compile artifacts that alias live algorithm memory and encode them on
 	// the caller's goroutine, so Snapshot holds the write side across
@@ -366,6 +398,8 @@ type Registry struct {
 	admFailed    atomic.Int64
 	admRejected  atomic.Int64
 	admPending   atomic.Int64
+	trustedLoads atomic.Int64 // admissions adopted via the digest-trusted load
+	rebuildHits  atomic.Int64 // builds that reused a retired algorithm's buffers
 
 	// configCount caches the registered-configuration total so health
 	// probes (Len) never enter a shard queue. Only shard workers update it.
@@ -555,7 +589,7 @@ func (r *Registry) Register(key string, cfg *config.Config) error {
 	if cfg == nil {
 		return fmt.Errorf("service: nil configuration")
 	}
-	return r.admitSync(key, cfg, nil)
+	return r.admitSync(key, cfg, nil, trustRegistry)
 }
 
 // RegisterCompiled admits a pre-compiled algorithm artifact for cfg under
@@ -568,22 +602,39 @@ func (r *Registry) RegisterCompiled(key string, c *election.Compiled, cfg *confi
 	if c == nil || cfg == nil {
 		return fmt.Errorf("service: nil compiled algorithm or configuration")
 	}
-	return r.admitSync(key, cfg, c)
+	return r.admitSync(key, cfg, c, trustRegistry)
+}
+
+// RegisterShipped admits a compiled artifact through the digest-trusted
+// fast path regardless of Options.TrustCompiledDigests: an artifact whose
+// embedded phase-table digest verifies is adopted without the
+// recompile-and-compare validation, exactly like Restore and journal
+// replay. It exists for fleet key migration (POST /v1/admit/artifact):
+// the shipping node compiled and digest-stamped the artifact itself, so
+// the receiving node pays for parsing and a digest check, never for a
+// rebuild. A tampered artifact whose digest no longer verifies falls back
+// to the full validation inside election.LoadTrusted and is rejected when
+// inconsistent — trust here skips work, not safety.
+func (r *Registry) RegisterShipped(key string, c *election.Compiled, cfg *config.Config) error {
+	if c == nil || cfg == nil {
+		return fmt.Errorf("service: nil compiled algorithm or configuration")
+	}
+	return r.admitSync(key, cfg, c, trustDigest)
 }
 
 // admitSync runs one admission to completion: through the builder pipeline
 // normally, or on the owning shard worker under Options.BuildOnShard.
-func (r *Registry) admitSync(key string, cfg *config.Config, c *election.Compiled) error {
+func (r *Registry) admitSync(key string, cfg *config.Config, c *election.Compiled, trust trustMode) error {
 	if !r.acquire() {
 		return ErrClosed
 	}
 	defer r.release()
 	if r.buildOnShard {
-		resp := r.do(r.shardFor(key), request{op: opRegister, key: key, cfg: cfg, compiled: c})
+		resp := r.do(r.shardFor(key), request{op: opRegister, key: key, cfg: cfg, compiled: c, trust: trust})
 		return resp.out.Err
 	}
 	reply := r.replies.Get().(chan response)
-	if err := r.enqueue(admission{key: key, cfg: cfg, compiled: c, reply: reply}); err != nil {
+	if err := r.enqueue(admission{key: key, cfg: cfg, compiled: c, trust: trust, reply: reply}); err != nil {
 		r.replies.Put(reply)
 		return err
 	}
@@ -705,6 +756,46 @@ func (r *Registry) Stats() ([]ShardStats, error) {
 		stats[i] = r.do(sh, request{op: opStats}).stats
 	}
 	return stats, nil
+}
+
+// Faulted reports whether the registry serves its elections over a faulted
+// medium (Options.Fault was a non-nil plan).
+func (r *Registry) Faulted() bool { return r.fault != nil }
+
+// FaultKeyStats gathers the accumulated injected-fault counters of every
+// registered key, in sorted key order. On a registry without a fault plan it
+// returns (nil, nil) — the counters exist only on the faulted path — and on
+// a closed one ErrClosed. Each shard is visited with one synchronous request
+// on its worker, so each shard's rows are internally consistent.
+func (r *Registry) FaultKeyStats() ([]KeyFaultStats, error) {
+	if r.fault == nil {
+		return nil, nil
+	}
+	if !r.acquire() {
+		return nil, ErrClosed
+	}
+	defer r.release()
+	var stats []KeyFaultStats
+	for _, sh := range r.shards {
+		stats = append(stats, r.do(sh, request{op: opFaultStats}).faults...)
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Key < stats[j].Key })
+	return stats, nil
+}
+
+// faultStats snapshots every entry's fault counters; it runs on the owning
+// worker, taking each entry's mutex so a concurrent (possibly stolen)
+// election never tears a row.
+func (sh *shard) faultStats() []KeyFaultStats {
+	stats := make([]KeyFaultStats, 0, len(sh.entries))
+	for key, e := range sh.entries {
+		e.mu.Lock()
+		fs := e.faults
+		e.mu.Unlock()
+		fs.Key = key
+		stats = append(stats, fs)
+	}
+	return stats
 }
 
 // Len returns the number of registered configurations across all shards.
@@ -870,7 +961,13 @@ func (r *Registry) serve(sh *shard, req request) {
 		resp.stats.StolenFrom = sh.stolenFrom.Load()
 		resp.stats.Queued = len(sh.requests) + len(sh.elects)
 	case opSnapshot:
-		resp.entries = sh.snapshot()
+		if req.key != "" {
+			resp.entries = sh.snapshotKey(req.key)
+		} else {
+			resp.entries = sh.snapshot()
+		}
+	case opFaultStats:
+		resp.faults = sh.faultStats()
 	}
 	req.reply <- resp
 }
@@ -931,9 +1028,24 @@ func (r *Registry) runElect(home *shard, req request, thief *shard) {
 			e.mu.Unlock()
 			e = nil
 		} else {
-			err := d.ElectInto(&e.out, radio.Options{Fault: r.fault})
+			electErr := d.ElectInto(&e.out, radio.Options{Fault: r.fault})
+			err := electErr
 			if err == nil {
 				err = d.Verify(&e.out)
+			}
+			if r.fault != nil && electErr == nil && e.out.Result != nil {
+				// Accumulate the election's injected-fault account onto the
+				// entry, under the same mutex that owns the pooled result.
+				// Elections that ran but failed verification count too: they
+				// observed their faults. A run that errored out (electErr)
+				// left Result stale and is skipped; the clean path
+				// (r.fault == nil) never takes this branch and stays
+				// zero-cost.
+				f := e.out.Result.Faults
+				e.faults.Elections++
+				e.faults.Drops += f.Drops
+				e.faults.Noise += f.Noise
+				e.faults.OutageRounds += f.OutageRounds
 			}
 			leader, rounds := e.out.Leader(), e.out.Rounds
 			e.mu.Unlock()
@@ -970,6 +1082,22 @@ func (sh *shard) publishView() {
 	sh.view.Store(&m)
 }
 
+// retiredBuckets is the number of size classes of the retired pool; class
+// indices above it clamp into the last bucket.
+const retiredBuckets = 16
+
+// retiredBucket maps a configuration size onto its pool bucket: the size
+// class is the bit length of n, so each bucket covers one power-of-two
+// band (1, 2–3, 4–7, 8–15, ...) and a rebuild reuses buffers within a
+// factor of two of what it needs.
+func retiredBucket(n int) int {
+	b := bits.Len(uint(n))
+	if b >= retiredBuckets {
+		b = retiredBuckets - 1
+	}
+	return b
+}
+
 // retire recycles a displaced or evicted algorithm into the rebuild pool so
 // a later admission can rebuild in place on its retained buffers. Only
 // registry-built algorithms are recycled: artifact-loaded ones (Report ==
@@ -979,12 +1107,16 @@ func (r *Registry) retire(d *election.Dedicated) {
 	if d == nil || d.Report == nil {
 		return
 	}
-	r.retired.Put(d)
+	r.retired[retiredBucket(d.Config.N())].Put(d)
 }
 
-// takeRetired hands a builder a retired algorithm to rebuild into, or nil.
-func (r *Registry) takeRetired() *election.Dedicated {
-	d, _ := r.retired.Get().(*election.Dedicated)
+// takeRetired hands a builder a retired algorithm of cfg's size class to
+// rebuild into, or nil when that bucket is empty. Only the exact bucket is
+// consulted: a cross-class retiree would be either too small to help or
+// wastefully large, and leaving it in place keeps it available for its own
+// class's churn.
+func (r *Registry) takeRetired(cfg *config.Config) *election.Dedicated {
+	d, _ := r.retired[retiredBucket(cfg.N())].Get().(*election.Dedicated)
 	return d
 }
 

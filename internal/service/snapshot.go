@@ -377,6 +377,9 @@ func (r *Registry) restoreEntry(dir string, me ManifestEntry) (trusted bool, err
 	if resp.out.Err != nil {
 		return false, fmt.Errorf("service: restoring %q: %w", me.Key, resp.out.Err)
 	}
+	if trusted {
+		r.trustedLoads.Add(1)
+	}
 	return trusted, nil
 }
 
@@ -391,4 +394,48 @@ func (sh *shard) snapshot() []SnapshotEntry {
 		e.mu.Unlock()
 	}
 	return entries
+}
+
+// snapshotKey compiles the single entry registered under key (empty result
+// when the key is unknown); it runs on the owning worker, like snapshot.
+func (sh *shard) snapshotKey(key string) []SnapshotEntry {
+	e, ok := sh.entries[key]
+	if !ok {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return []SnapshotEntry{{Key: key, Config: e.d.Config, Artifact: e.d.Compile()}}
+}
+
+// ExportArtifact compiles the configuration admitted under key and encodes
+// it as one wire.FrameWALAdmit frame — key, configuration text, compiled
+// artifact with its digest — the exact unit fleet key migration ships
+// between nodes (GET /v1/artifact/{key} serves it, POST /v1/admit/artifact
+// consumes it through RegisterShipped, and a journal replay would accept it
+// verbatim). The frame is encoded under the snapshot fence: the gathered
+// artifact aliases live algorithm memory, and the fence keeps a concurrent
+// rebuild-in-place admission from recycling that memory mid-encode. It
+// returns ErrUnknownKey (wrapped) for an unregistered key.
+func (r *Registry) ExportArtifact(key string) ([]byte, error) {
+	if !r.acquire() {
+		return nil, ErrClosed
+	}
+	defer r.release()
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	resp := r.do(r.shardFor(key), request{op: opSnapshot, key: key})
+	if len(resp.entries) == 0 {
+		return nil, fmt.Errorf("%w: no configuration registered under %q", ErrUnknownKey, key)
+	}
+	e := resp.entries[0]
+	frame, err := wire.AppendWALAdmitFrame(nil, &wire.WALAdmit{
+		Key:      e.Key,
+		Config:   e.Config.Marshal(),
+		Artifact: e.Artifact,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding artifact for %q: %w", key, err)
+	}
+	return frame, nil
 }
